@@ -1,0 +1,2 @@
+"""Benchmark-suite conftest: keeps the directory importable so the
+shared ``common`` helpers resolve."""

@@ -1,0 +1,94 @@
+"""Extension: the adaptive f_default controller vs hand tuning.
+
+§7 picks n and f_default by hand per benchmark ("we simply try a few
+reasonable values ... and then choose the best", explicitly deferring
+"any adaptive algorithm to determine f_default").  This bench runs the
+MIMD auto-tuner (``AdaptiveElector``) against the fixed default and a
+deliberately bad fixed setting, on three differently-shaped
+benchmarks.
+
+Asserted shape: the auto-tuner is never far from the fixed default
+(it converges to a sane frequency on its own) and beats the bad
+setting where aggressiveness hurts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import AdaptiveElector, power_fscale
+from repro.sim import M5Options, SimConfig, Simulation
+from repro.workloads import build
+
+from common import emit_table, end_to_end_config, normalized_score, once
+
+BENCHES = ("roms", "tc", "mcf")
+
+
+def _run_with_elector(bench, elector=None, m5_options=None):
+    sim = Simulation(build(bench, seed=1), end_to_end_config(),
+                     policy="m5-hpt", m5_options=m5_options)
+    if elector is not None:
+        sim._manager.elector = elector
+    return sim.run()
+
+
+def run_experiment():
+    rows = []
+    for bench in BENCHES:
+        base = Simulation(build(bench, seed=1), end_to_end_config(),
+                          policy="none").run()
+        fixed = _run_with_elector(bench)
+        adaptive_elector = AdaptiveElector(
+            f_default=1.0, fscale=power_fscale(4.0),
+            min_period_s=1e-3, max_period_s=2.0,
+        )
+        adaptive = _run_with_elector(bench, elector=adaptive_elector)
+        bad = _run_with_elector(
+            bench, m5_options=M5Options(improvement_epsilon=-1.0, k_hpt=256)
+        )
+        rows.append({
+            "bench": bench,
+            "fixed": normalized_score(base, fixed),
+            "adaptive": normalized_score(base, adaptive),
+            "churny": normalized_score(base, bad),
+            "f_final": adaptive_elector.f_default,
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_experiment()
+
+
+def check_adaptive_close_to_hand_tuned(rows):
+    for r in rows:
+        assert r["adaptive"] >= r["fixed"] - 0.15, r["bench"]
+
+
+def check_adaptive_beats_churny_setting(rows):
+    mean_adaptive = np.mean([r["adaptive"] for r in rows])
+    mean_churny = np.mean([r["churny"] for r in rows])
+    assert mean_adaptive > mean_churny
+
+
+def test_autotune_regenerate(benchmark, rows):
+    result = once(benchmark, lambda: rows)
+    emit_table(
+        "ext_autotune",
+        "Extension — AdaptiveElector vs fixed f_default "
+        "(normalised performance; churny = no dead band)",
+        ["bench", "fixed", "adaptive", "churny", "f_final"],
+        [[r["bench"], r["fixed"], r["adaptive"], r["churny"], r["f_final"]]
+         for r in result],
+    )
+    check_adaptive_close_to_hand_tuned(result)
+    check_adaptive_beats_churny_setting(result)
+
+
+def test_adaptive_close_to_hand_tuned(rows):
+    check_adaptive_close_to_hand_tuned(rows)
+
+
+def test_adaptive_beats_churny_setting(rows):
+    check_adaptive_beats_churny_setting(rows)

@@ -1,0 +1,104 @@
+"""Extension: CXL as a *bandwidth* expander (the paper's §1 premise).
+
+The evaluation section studies the latency side of tiered memory, but
+the introduction motivates CXL equally as bandwidth expansion ("CXL
+built on PCIe 5.0 can offer the same bandwidth as DDR5 with 3x fewer
+pins").  With the optional per-node bandwidth ceilings enabled, this
+bench shows the complementary regime:
+
+* a bandwidth-bound workload (many cores, high MLP) saturates a
+  deliberately narrow DDR configuration;
+* spreading pages across DDR *and* CXL adds the CXL link's bandwidth
+  to the system and beats the DDR-only placement, even though every
+  CXL access is slower;
+* with generous DDR bandwidth the ordering flips back — latency rules
+  again, confirming the model reduces to the paper's latency story
+  when bandwidth is not the constraint.
+"""
+
+import pytest
+
+from repro.memory.tiers import NodeKind, TieredMemory
+from repro.sim import SimConfig
+from repro.sim.perf import PerformanceModel
+from repro.workloads import build, uniform_workload
+
+from common import emit_series, once
+
+ACCESSES = 1_000_000
+
+
+def _epoch_time(ddr_share, ddr_gbps, cxl_gbps, mlp=8.0, cores=20):
+    """Memory wall-time of one epoch with the given placement split."""
+    cfg = SimConfig(
+        total_accesses=ACCESSES,
+        mlp=mlp,
+        ddr_bandwidth_gbps=ddr_gbps,
+        cxl_bandwidth_gbps=cxl_gbps,
+        trace_subsample=64.0,
+    )
+    spec = build("pr", seed=1).spec
+    perf = PerformanceModel(cfg, spec)
+    n_ddr = int(ACCESSES * ddr_share)
+    e = perf.record_epoch(n_ddr, ACCESSES - n_ddr, 0.0, 0.0)
+    return e.total_s
+
+
+def run_experiment():
+    # Narrow DDR (one channel's worth) + a CXL x8-class link.
+    narrow = {
+        "ddr-only": _epoch_time(1.0, ddr_gbps=8.0, cxl_gbps=16.0),
+        "interleaved 70/30": _epoch_time(0.7, ddr_gbps=8.0, cxl_gbps=16.0),
+        "interleaved 50/50": _epoch_time(0.5, ddr_gbps=8.0, cxl_gbps=16.0),
+    }
+    # Generous DDR: latency regime, DDR-only should win again.
+    wide = {
+        "ddr-only": _epoch_time(1.0, ddr_gbps=0.0, cxl_gbps=0.0),
+        "interleaved 50/50": _epoch_time(0.5, ddr_gbps=0.0, cxl_gbps=0.0),
+    }
+    return narrow, wide
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment()
+
+
+def check_interleaving_beats_narrow_ddr(narrow):
+    assert narrow["interleaved 70/30"] < narrow["ddr-only"]
+
+
+def check_latency_regime_prefers_ddr(wide):
+    assert wide["ddr-only"] < wide["interleaved 50/50"]
+
+
+def test_bandwidth_expansion_regenerate(benchmark, results):
+    narrow, wide = once(benchmark, lambda: results)
+    emit_series(
+        "ext_bandwidth_expansion",
+        "Extension — epoch memory wall-time (s): bandwidth-bound narrow-DDR "
+        "system vs latency-bound system",
+        [(f"narrow {k}", v) for k, v in narrow.items()]
+        + [(f"wide {k}", v) for k, v in wide.items()],
+    )
+    check_interleaving_beats_narrow_ddr(narrow)
+    check_latency_regime_prefers_ddr(wide)
+
+
+def test_interleaving_beats_narrow_ddr(results):
+    check_interleaving_beats_narrow_ddr(results[0])
+
+
+def test_latency_regime_prefers_ddr(results):
+    check_latency_regime_prefers_ddr(results[1])
+
+
+def test_bandwidth_ceiling_respected():
+    """Sanity: a node can never move bytes faster than its ceiling."""
+    cfg = SimConfig(ddr_bandwidth_gbps=1.0, trace_subsample=1.0,
+                    footprint_scale=1.0)
+    spec = uniform_workload(footprint_pages=64).spec
+    perf = PerformanceModel(cfg, spec)
+    n = 10_000_000
+    e = perf.record_epoch(n, 0, 0.0, 0.0)
+    assert e.memory_s >= n * 64 / 1e9  # 1 GB/s ceiling

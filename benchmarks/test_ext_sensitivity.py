@@ -1,0 +1,104 @@
+"""Extension: sensitivity of the end-to-end result to the two
+parameters the paper fixes — fast-tier capacity (3GB cgroup cap) and
+the CXL latency premium (140–170ns over DDR).
+
+Shapes asserted:
+
+* more DDR capacity monotonically helps (with diminishing returns
+  once the hot set fits);
+* a larger CXL latency premium widens M5's gain over no migration —
+  page placement matters more the slower the far tier is.
+"""
+
+import pytest
+
+from repro.sim import SimConfig, Simulation
+from repro.workloads import build, registry
+
+from common import emit_series, once
+
+BENCH = "roms"
+
+
+def _run(ddr_pages, cxl_latency_ns=270.0):
+    cfg = SimConfig(
+        total_accesses=1_000_000,
+        chunk_size=16_384,
+        ddr_pages=ddr_pages,
+        cxl_latency_ns=cxl_latency_ns,
+        trace_subsample=64.0,
+        checkpoints=1,
+    )
+    base = Simulation(build(BENCH, seed=1), cfg, policy="none").run()
+    m5 = Simulation(build(BENCH, seed=1), cfg, policy="m5-hpt").run()
+    return base.execution_time_s / m5.execution_time_s
+
+
+def run_capacity_sweep():
+    per_gb = registry.PAGES_PER_GB
+    return {gb: _run(int(gb * per_gb)) for gb in (1, 2, 3, 4, 5)}
+
+
+def run_latency_sweep():
+    per_gb = registry.PAGES_PER_GB
+    return {ns: _run(3 * per_gb, cxl_latency_ns=ns)
+            for ns in (170.0, 270.0, 400.0)}
+
+
+@pytest.fixture(scope="module")
+def capacity_scores():
+    return run_capacity_sweep()
+
+
+@pytest.fixture(scope="module")
+def latency_scores():
+    return run_latency_sweep()
+
+
+def check_capacity_monotone(scores):
+    gbs = sorted(scores)
+    values = [scores[g] for g in gbs]
+    # Monotone non-decreasing within tolerance, and everything >= 1.
+    assert all(b >= a - 0.05 for a, b in zip(values, values[1:]))
+    assert scores[5] > scores[1]
+    assert min(values) > 0.95
+
+
+def check_diminishing_returns(scores):
+    """The first GBs buy more than the last (hot set fits early)."""
+    early = scores[3] - scores[1]
+    late = scores[5] - scores[3]
+    assert early > late - 0.02
+
+
+def check_latency_premium_widens_gain(scores):
+    assert scores[400.0] > scores[170.0]
+
+
+def test_sensitivity_regenerate(benchmark, capacity_scores, latency_scores):
+    cap, lat = once(benchmark, lambda: (capacity_scores, latency_scores))
+    emit_series(
+        "ext_capacity_sensitivity",
+        f"Extension — M5 gain vs DDR capacity ({BENCH}, norm. to no migration)",
+        [(f"{gb} GB", v) for gb, v in sorted(cap.items())],
+    )
+    emit_series(
+        "ext_latency_sensitivity",
+        f"Extension — M5 gain vs CXL latency ({BENCH})",
+        [(f"{ns:.0f} ns", v) for ns, v in sorted(lat.items())],
+    )
+    check_capacity_monotone(cap)
+    check_diminishing_returns(cap)
+    check_latency_premium_widens_gain(lat)
+
+
+def test_capacity_monotone(capacity_scores):
+    check_capacity_monotone(capacity_scores)
+
+
+def test_diminishing_returns(capacity_scores):
+    check_diminishing_returns(capacity_scores)
+
+
+def test_latency_premium_widens_gain(latency_scores):
+    check_latency_premium_widens_gain(latency_scores)

@@ -1,0 +1,111 @@
+"""Figure 3: average access-count ratio of hot pages identified by
+ANB and DAMON, scored against PAC's ground truth.
+
+Paper claims reproduced here:
+
+* both solutions score below 0.4 for most of the twelve benchmarks —
+  they identify *warm* pages (Observation 1);
+* cactuBSSN, fotonik3d, and mcf are the exceptions (flat, stable page
+  heat makes even warm selection score well);
+* DAMON generally scores above ANB;
+* the per-execution-point spread (min/max across the 10 measurement
+  points) is reported like the paper's error bars.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulation
+from repro.workloads import MEMORY_INTENSIVE, build
+
+from common import emit_table, once, ratio_config
+
+EXCEPTIONS = {"cactubssn", "fotonik3d", "mcf"}
+
+
+def run_experiment():
+    rows = []
+    for bench in MEMORY_INTENSIVE:
+        row = {"bench": bench}
+        for policy in ("anb", "damon"):
+            sim = Simulation(build(bench, seed=1), ratio_config(), policy=policy)
+            result = sim.run()
+            checkpoints = result.ratio_checkpoints
+            row[policy] = float(np.mean(checkpoints))
+            row[f"{policy}_min"] = float(np.min(checkpoints))
+            row[f"{policy}_max"] = float(np.max(checkpoints))
+        rows.append(row)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig3_rows():
+    return run_experiment()
+
+
+def check_most_benchmarks_identify_warm_pages(rows):
+    """Observation 1: ratios below 0.4 outside the exception trio."""
+    regular = [r for r in rows if r["bench"] not in EXCEPTIONS]
+    below = [r for r in regular if r["anb"] < 0.4 and r["damon"] < 0.4]
+    assert len(below) >= len(regular) - 1
+
+
+def check_exception_trio_scores_higher(rows):
+    """cactuBSSN/fotonik3d/mcf: the flat-heat 'good cases'."""
+    trio = [r for r in rows if r["bench"] in EXCEPTIONS]
+    regular = [r for r in rows if r["bench"] not in EXCEPTIONS]
+    assert np.mean([r["anb"] for r in trio]) > 2 * np.mean(
+        [r["anb"] for r in regular]
+    )
+
+
+def check_damon_overall_above_anb(rows):
+    """'Overall, DAMON offers higher average access-count ratios than
+    ANB.'"""
+    assert np.mean([r["damon"] for r in rows]) > np.mean(
+        [r["anb"] for r in rows]
+    )
+
+
+def check_mean_ratios_in_paper_band(rows):
+    """Paper: ANB 21% and DAMON 29% on average (we accept a band)."""
+    anb = np.mean([r["anb"] for r in rows])
+    damon = np.mean([r["damon"] for r in rows])
+    assert 0.08 <= anb <= 0.40
+    assert 0.12 <= damon <= 0.50
+
+
+def test_fig03_regenerate(benchmark, fig3_rows):
+    rows = once(benchmark, lambda: fig3_rows)
+    emit_table(
+        "fig03_cpu_driven_ratio",
+        "Figure 3 — average access-count ratio of ANB / DAMON "
+        "(paper means: ANB 0.21, DAMON 0.29)",
+        ["bench", "anb", "anb_min", "anb_max", "damon", "damon_min", "damon_max"],
+        [
+            [r["bench"], r["anb"], r["anb_min"], r["anb_max"],
+             r["damon"], r["damon_min"], r["damon_max"]]
+            for r in rows
+        ],
+        col_width=12,
+    )
+    check_most_benchmarks_identify_warm_pages(rows)
+    check_exception_trio_scores_higher(rows)
+    check_damon_overall_above_anb(rows)
+    check_mean_ratios_in_paper_band(rows)
+
+
+def test_most_benchmarks_identify_warm_pages(fig3_rows):
+    check_most_benchmarks_identify_warm_pages(fig3_rows)
+
+
+def test_exception_trio_scores_higher(fig3_rows):
+    check_exception_trio_scores_higher(fig3_rows)
+
+
+def test_damon_overall_above_anb(fig3_rows):
+    check_damon_overall_above_anb(fig3_rows)
+
+
+def test_mean_ratios_in_paper_band(fig3_rows):
+    check_mean_ratios_in_paper_band(fig3_rows)

@@ -1,0 +1,124 @@
+"""Figure 8: full-system average access-count ratios of HPT, with the
+trackers queried at the rates Elector determines.
+
+Bars: the best CPU-driven solution (max of ANB/DAMON per benchmark),
+M5 with a Space-Saving HPT at its 50-entry FPGA feasibility limit, and
+M5 with the CM-Sketch HPT at its 32K operating point.
+
+Paper claims reproduced here:
+
+* CM-Sketch-32K beats the best CPU-driven solution by ~47% on average
+  (0.72 vs ~0.49 in the paper);
+* CM-Sketch-32K edges out Space-Saving-50 (paper: +3.5%) because the
+  timing-feasible CAM is tiny;
+* M5 scores below PAC's 1.0 because it ranks pages within query
+  windows while PAC scores the entire run (§7.2's discussion).
+
+Scaling note: the model footprint is ``footprint_scale`` times smaller
+than the paper's, so the CM-Sketch size is scaled by the same factor
+to preserve the address-cardinality-to-counter pressure; the
+Space-Saving CAM keeps its absolute 50 entries (it is a hardware
+limit, and scaling it below K would be meaningless).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import M5Options, Simulation
+from repro.workloads import MEMORY_INTENSIVE, build
+
+from common import emit_table, once, ratio_config
+
+#: Preserve the paper's pages-per-counter pressure for the sketch.
+PAGES_PER_GB = 4096
+CMS_COUNTERS = max(512, (32 * 1024 * PAGES_PER_GB) // 262144)
+
+
+def _run(bench, policy, m5_options=None):
+    cfg = ratio_config(total_accesses=1_000_000, pages_per_gb=PAGES_PER_GB)
+    sim = Simulation(
+        build(bench, seed=1, pages_per_gb=PAGES_PER_GB),
+        cfg,
+        policy=policy,
+        m5_options=m5_options,
+    )
+    return sim.run().access_count_ratio
+
+
+def run_experiment():
+    rows = []
+    for bench in MEMORY_INTENSIVE:
+        cpu_best = max(_run(bench, "anb"), _run(bench, "damon"))
+        ss50 = _run(
+            bench, "m5-hpt",
+            M5Options(algorithm="space-saving", num_counters=50, k_hpt=32),
+        )
+        cms = _run(
+            bench, "m5-hpt",
+            M5Options(algorithm="cm-sketch", num_counters=CMS_COUNTERS),
+        )
+        rows.append(
+            {"bench": bench, "cpu_best": cpu_best, "m5_ss50": ss50,
+             "m5_cms32k": cms}
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return run_experiment()
+
+
+def check_cms_beats_cpu_driven(rows):
+    """Paper: +47% on average over the best CPU-driven solution, and
+    wins on every benchmark; at this scale we require the average gap
+    plus a clear majority of per-benchmark wins (the flat-heat trio is
+    where CPU-driven solutions come closest)."""
+    cms = np.mean([r["m5_cms32k"] for r in rows])
+    cpu = np.mean([r["cpu_best"] for r in rows])
+    assert cms > cpu * 1.3
+    wins = sum(1 for r in rows if r["m5_cms32k"] > r["cpu_best"])
+    assert wins >= 8
+
+
+def check_cms_at_least_matches_ss50(rows):
+    """Paper: +3.5% on average over Space-Saving at N = 50."""
+    cms = np.mean([r["m5_cms32k"] for r in rows])
+    ss = np.mean([r["m5_ss50"] for r in rows])
+    assert cms >= ss * 0.98
+
+
+def check_online_ratio_below_oracle(rows):
+    """§7.2: windowed ranking cannot reach PAC's whole-run 1.0 (the
+    paper measures 0.72; our harsher counter pressure lands lower)."""
+    assert all(r["m5_cms32k"] <= 1.0 + 1e-9 for r in rows)
+    assert np.mean([r["m5_cms32k"] for r in rows]) > 0.35
+
+
+def test_fig08_regenerate(benchmark, fig8_rows):
+    rows = once(benchmark, lambda: fig8_rows)
+    emit_table(
+        "fig08_fullsystem_ratio",
+        "Figure 8 — full-system access-count ratio of HPT "
+        f"(CM-Sketch scaled to {CMS_COUNTERS} counters; paper means: "
+        "CPU-best ~0.49, M5 CMS-32K ~0.72)",
+        ["bench", "cpu_best", "m5_ss50", "m5_cms32k"],
+        [[r["bench"], r["cpu_best"], r["m5_ss50"], r["m5_cms32k"]]
+         for r in rows],
+        col_width=12,
+    )
+    check_cms_beats_cpu_driven(rows)
+    check_cms_at_least_matches_ss50(rows)
+    check_online_ratio_below_oracle(rows)
+
+
+def test_cms_beats_cpu_driven(fig8_rows):
+    check_cms_beats_cpu_driven(fig8_rows)
+
+
+def test_cms_at_least_matches_ss50(fig8_rows):
+    check_cms_at_least_matches_ss50(fig8_rows)
+
+
+def test_online_ratio_below_oracle(fig8_rows):
+    check_online_ratio_below_oracle(fig8_rows)

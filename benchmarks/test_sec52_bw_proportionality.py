@@ -1,0 +1,83 @@
+"""§5.2's Monitor hypothesis: with random page placement, a node's
+consumed bandwidth is proportional to the pages allocated on it.
+
+Paper measurement (mcf_r): nr_pages(DDR)/nr_pages(CXL) ratios of
+2, 1, and 1/2 yield bw(DDR)/bw(CXL) ratios of 2.02, 0.919, and 0.571.
+This validates bw_den() as a hot-page density signal (Guideline 1).
+"""
+
+import pytest
+
+from repro.memory.address import PAGE_SHIFT
+from repro.memory.tiers import NodeKind, TieredMemory
+from repro.workloads import build
+
+from common import emit_table, once
+
+#: (target nr_pages ratio, paper-measured bw ratio)
+CASES = [(2.0, 2.02), (1.0, 0.919), (0.5, 0.571)]
+
+
+def run_case(page_ratio):
+    wl = build("mcf", seed=3)
+    n = wl.spec.footprint_pages
+    ddr_fraction = page_ratio / (1.0 + page_ratio)
+    mem = TieredMemory(ddr_pages=n, cxl_pages=n, num_logical_pages=n)
+    mem.allocate_interleaved(ddr_fraction)
+    mem.begin_epoch(1.0)
+    for chunk in wl.chunks(1_000_000):
+        mem.record_epoch_accesses(
+            (chunk >> chunk.dtype.type(PAGE_SHIFT)).astype(int)
+        )
+    pages_ratio = mem.nr_pages(NodeKind.DDR) / mem.nr_pages(NodeKind.CXL)
+    bw_ratio = mem.bw(NodeKind.DDR) / mem.bw(NodeKind.CXL)
+    return pages_ratio, bw_ratio
+
+
+def run_experiment():
+    rows = []
+    for target, paper_bw in CASES:
+        pages_ratio, bw_ratio = run_case(target)
+        rows.append(
+            {"target": target, "pages_ratio": pages_ratio,
+             "bw_ratio": bw_ratio, "paper_bw_ratio": paper_bw}
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_experiment()
+
+
+def check_bw_tracks_pages(rows):
+    """bw(node) ∝ nr_pages(node) under random placement."""
+    for r in rows:
+        assert r["bw_ratio"] == pytest.approx(r["pages_ratio"], rel=0.12)
+
+
+def check_matches_paper_band(rows):
+    for r in rows:
+        assert r["bw_ratio"] == pytest.approx(r["paper_bw_ratio"], rel=0.20)
+
+
+def test_sec52_regenerate(benchmark, rows):
+    result = once(benchmark, lambda: rows)
+    emit_table(
+        "sec52_bw_proportionality",
+        "§5.2 — bw(DDR)/bw(CXL) vs nr_pages(DDR)/nr_pages(CXL) for mcf "
+        "(paper: 2.02 / 0.919 / 0.571)",
+        ["target", "pages_ratio", "bw_ratio", "paper_bw_ratio"],
+        [[r["target"], r["pages_ratio"], r["bw_ratio"], r["paper_bw_ratio"]]
+         for r in result],
+    )
+    check_bw_tracks_pages(result)
+    check_matches_paper_band(result)
+
+
+def test_bw_tracks_pages(rows):
+    check_bw_tracks_pages(rows)
+
+
+def test_matches_paper_band(rows):
+    check_matches_paper_band(rows)

@@ -1,0 +1,84 @@
+"""Table 4: size and power of the Space-Saving (CAM) and CM-Sketch
+(SRAM) top-5 trackers in 7nm logic, under the 400MHz constraint.
+
+Paper claims reproduced here:
+
+* the Space-Saving CAM closes timing only up to N = 2K entries (50 on
+  the FPGA), the CM-Sketch SRAM up to 128K (FPGA) and beyond;
+* at N = 2K the CAM design costs 33.6x the area and 7.6x the power of
+  the sketch design;
+* the 32K-entry tracker occupies ~0.01% of an 8GB module's die area.
+"""
+
+import pytest
+
+from repro.core import hwcost
+
+from common import emit_table, once
+
+ENTRIES = (50, 100, 512, 1024, 2048, 8192, 32768, 131072)
+
+
+def run_experiment():
+    return hwcost.table4(ENTRIES)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_experiment()
+
+
+def check_calibration_points(rows):
+    by_n = {r["entries"]: r for r in rows}
+    assert by_n[50]["space_saving_area_um2"] == pytest.approx(3649.0)
+    assert by_n[32768]["cm_sketch_area_um2"] == pytest.approx(46930.0)
+    assert hwcost.relative_cost(2048)["area_ratio"] == pytest.approx(33.6, rel=0.01)
+
+
+def test_table4_regenerate(benchmark, rows):
+    result = once(benchmark, lambda: rows)
+    emit_table(
+        "table4_hwcost",
+        "Table 4 — top-5 tracker size (um^2) and power (mW), 7nm",
+        ["entries", "SS_area", "CMS_area", "SS_power", "CMS_power"],
+        [
+            [r["entries"], r["space_saving_area_um2"], r["cm_sketch_area_um2"],
+             r["space_saving_power_mw"], r["cm_sketch_power_mw"]]
+            for r in result
+        ],
+        precision=1,
+        col_width=12,
+    )
+    check_calibration_points(result)
+
+
+def test_calibration_points_exact(rows):
+    by_n = {r["entries"]: r for r in rows}
+    assert by_n[50]["space_saving_area_um2"] == pytest.approx(3649.0)
+    assert by_n[2048]["space_saving_area_um2"] == pytest.approx(179625.0)
+    assert by_n[32768]["cm_sketch_area_um2"] == pytest.approx(46930.0)
+    assert by_n[131072]["cm_sketch_power_mw"] == pytest.approx(83.8)
+
+
+def test_space_saving_infeasible_beyond_2k(rows):
+    for r in rows:
+        if r["entries"] > 2048:
+            assert r["space_saving_area_um2"] is None
+        else:
+            assert r["space_saving_area_um2"] is not None
+
+
+def test_headline_cost_ratios(rows):
+    rel = hwcost.relative_cost(2048)
+    assert rel["area_ratio"] == pytest.approx(33.6, rel=0.01)
+    assert rel["power_ratio"] == pytest.approx(7.7, rel=0.02)
+
+
+def test_chip_overhead_headline():
+    assert hwcost.chip_overhead_fraction(32 * 1024) < 1e-3
+
+
+def test_timing_requirement():
+    assert hwcost.max_access_rate_hz() == pytest.approx(400e6)
+    assert hwcost.feasible_entries("space-saving", "fpga") == 50
+    assert hwcost.feasible_entries("cm-sketch", "fpga") == 128 * 1024

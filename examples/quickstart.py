@@ -1,0 +1,54 @@
+"""Quickstart: run one benchmark under M5 and compare against the
+no-migration baseline and a CPU-driven policy.
+
+Usage::
+
+    python examples/quickstart.py [benchmark]
+
+The benchmark name is any of the twelve Table 3 workloads (default:
+roms, the paper's showcase for precise migration).
+"""
+
+import sys
+
+from repro import workloads
+from repro.sim import SimConfig, run_policy
+
+
+def main() -> None:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "roms"
+    config = SimConfig(
+        total_accesses=1_000_000,
+        chunk_size=16_384,
+        trace_subsample=64.0,  # stretch simulated wall-clock (see docs)
+    )
+
+    print(f"benchmark: {bench} "
+          f"({workloads.spec_of(bench).description or 'n/a'})")
+    print(f"footprint: {workloads.spec_of(bench).footprint_pages} model pages, "
+          f"DDR allowance: {config.ddr_pages} pages\n")
+
+    results = {}
+    for policy in ("none", "damon", "m5-hpt"):
+        workload = workloads.build(bench, seed=1)
+        results[policy] = run_policy(workload, policy, config)
+
+    base = results["none"]
+    print(f"{'policy':10s} {'exec (s)':>10s} {'norm.':>7s} {'promoted':>9s} "
+          f"{'demoted':>8s} {'overhead (s)':>13s}")
+    for policy, r in results.items():
+        norm = base.execution_time_s / r.execution_time_s
+        print(f"{policy:10s} {r.execution_time_s:10.1f} {norm:7.2f} "
+              f"{r.promoted:9d} {r.demoted:8d} {r.overhead_time_s:13.3f}")
+
+    m5 = results["m5-hpt"]
+    damon = results["damon"]
+    gain = damon.execution_time_s / m5.execution_time_s
+    if gain >= 1:
+        print(f"\nM5 vs DAMON: {gain - 1:.1%} faster")
+    else:
+        print(f"\nM5 vs DAMON: {1 - gain:.1%} slower")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Machine-readable figure exports.
+
+Every regenerated table/figure can be exported as CSV so downstream
+plotting (outside this offline environment) can redraw the paper's
+figures.  The writers are deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.cdf import AccessCdf
+from repro.analysis.sparsity import SparsityProfile
+from repro.workloads.wordmap import SPARSITY_THRESHOLDS
+
+
+def write_csv(
+    path: Union[str, Path], headers: Sequence[str], rows: Sequence[Sequence]
+) -> Path:
+    """Write one CSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def export_ratio_bars(
+    path: Union[str, Path], ratios: Dict[str, Dict[str, float]]
+) -> Path:
+    """Figure 3/8-style bars: benchmark × policy → ratio."""
+    policies = sorted({p for row in ratios.values() for p in row})
+    rows = [
+        [bench] + [row.get(p, "") for p in policies]
+        for bench, row in ratios.items()
+    ]
+    return write_csv(path, ["bench"] + policies, rows)
+
+
+def export_sparsity(
+    path: Union[str, Path], profiles: Dict[str, SparsityProfile]
+) -> Path:
+    """Figure 4: stacked probabilities per threshold."""
+    rows = [
+        [bench] + [prof.at(n) for n in SPARSITY_THRESHOLDS]
+        for bench, prof in profiles.items()
+    ]
+    headers = ["bench"] + [f"p_le_{n}" for n in SPARSITY_THRESHOLDS]
+    return write_csv(path, headers, rows)
+
+
+def export_cdf_curves(
+    path: Union[str, Path],
+    cdfs: Dict[str, AccessCdf],
+    log10_grid: Sequence[float] = tuple(np.arange(0.0, 8.25, 0.25)),
+) -> Path:
+    """Figure 10: one (x, F) series per benchmark on a shared grid."""
+    headers = ["log10_count"] + list(cdfs)
+    columns = []
+    for cdf in cdfs.values():
+        _, f = cdf.cdf_points(log10_grid)
+        columns.append(f)
+    rows = [
+        [x] + [float(col[i]) for col in columns]
+        for i, x in enumerate(log10_grid)
+    ]
+    return write_csv(path, headers, rows)
+
+
+def export_series(
+    path: Union[str, Path],
+    series: Dict[str, Dict],
+    x_label: str = "x",
+) -> Path:
+    """Generic multi-series export (Figures 7/11, sensitivity sweeps):
+    ``series[name][x] = y``."""
+    xs = sorted({x for row in series.values() for x in row})
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name].get(x, "") for name in series]
+        for x in xs
+    ]
+    return write_csv(path, headers, rows)

@@ -1,0 +1,86 @@
+"""Word-sparsity analysis (Figure 4).
+
+Given WAC's per-word counts, compute the probability that a page has
+at most N unique 64B words accessed, on the paper's threshold grid
+{4, 8, 16, 32, 48} — i.e. {6.25%, 12.5%, 25%, 50%, 75%} of the 64
+words in a 4KB page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cxl.wac import WordAccessCounter
+from repro.memory.address import WORD_SHIFT, WORDS_PER_PAGE
+from repro.workloads.wordmap import SPARSITY_THRESHOLDS
+
+
+@dataclass(frozen=True)
+class SparsityProfile:
+    """P(page has ≤ N unique words accessed) per threshold."""
+
+    benchmark: str
+    probabilities: Dict[int, float]
+    pages_observed: int
+
+    def at(self, threshold: int) -> float:
+        return self.probabilities[threshold]
+
+    @property
+    def mostly_sparse(self) -> bool:
+        """The Redis-class criterion: most pages ≤ 25% words touched."""
+        return self.probabilities.get(16, 0.0) > 0.5
+
+    @property
+    def mostly_dense(self) -> bool:
+        """The SPEC-class criterion: ≥75% of words accessed in most
+        pages (P(≤48 words) small)."""
+        return self.probabilities.get(48, 1.0) < 0.25
+
+
+def from_wac(
+    benchmark: str, wac: WordAccessCounter, min_accesses: int = 1
+) -> SparsityProfile:
+    """Measure sparsity from a WAC that observed the run.
+
+    ``min_accesses`` filters to pages accessed often enough for their
+    word-usage pattern to be observable (see
+    :meth:`WordAccessCounter.unique_words_per_page`).
+    """
+    uniques = wac.unique_words_per_page(min_accesses)
+    touched = uniques[uniques > 0]
+    probs = {
+        n: (float((touched <= n).mean()) if touched.size else 0.0)
+        for n in SPARSITY_THRESHOLDS
+    }
+    return SparsityProfile(
+        benchmark=benchmark, probabilities=probs, pages_observed=int(touched.size)
+    )
+
+
+def from_trace(benchmark: str, addresses: np.ndarray) -> SparsityProfile:
+    """Measure sparsity directly from a logical/physical trace."""
+    pa = np.asarray(addresses, dtype=np.uint64)
+    lines = np.unique(pa >> np.uint64(WORD_SHIFT))
+    pages, counts = np.unique(lines >> np.uint64(6), return_counts=True)
+    counts = np.minimum(counts, WORDS_PER_PAGE)
+    probs = {
+        n: (float((counts <= n).mean()) if counts.size else 0.0)
+        for n in SPARSITY_THRESHOLDS
+    }
+    return SparsityProfile(
+        benchmark=benchmark, probabilities=probs, pages_observed=int(pages.size)
+    )
+
+
+def dense_page_fraction(profile: SparsityProfile) -> float:
+    """P(page has at least 75% of its words accessed)."""
+    return 1.0 - profile.probabilities.get(48, 0.0)
+
+
+def figure4_row(profile: SparsityProfile) -> Tuple[float, ...]:
+    """The five stacked values of one Figure 4 bar."""
+    return tuple(profile.probabilities[n] for n in SPARSITY_THRESHOLDS)

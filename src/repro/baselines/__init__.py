@@ -1,0 +1,21 @@
+"""CPU-driven page-migration baselines (paper §2.1): ANB, DAMON, full
+PTE scanning, and PEBS-style sampling, plus the no-migration control."""
+
+from repro.baselines.base import MigrationPolicy, NoMigration, PolicyCosts
+from repro.baselines.anb import AutoNumaBalancing
+from repro.baselines.damon import Damon, Region
+from repro.baselines.ptescan import PteScanner
+from repro.baselines.pebs import PebsSampler
+from repro.baselines.tpp import Tpp
+
+__all__ = [
+    "MigrationPolicy",
+    "NoMigration",
+    "PolicyCosts",
+    "AutoNumaBalancing",
+    "Damon",
+    "Region",
+    "PteScanner",
+    "PebsSampler",
+    "Tpp",
+]

@@ -1,0 +1,132 @@
+"""Common interface for CPU-driven page-migration policies.
+
+The simulation engine drives every policy the same way: once per
+epoch it hands over the epoch's page-granular access stream (logical
+page ids, in order) and the current simulated time.  The policy
+updates its internal detector, accumulates CPU overhead (the §4.2
+cost), appends newly identified hot pages to its *hot-page list* (the
+§4.1 S1 instrumentation: "store the PFNs of identified hot pages into
+a hot-page list"), and can be asked for migration candidates.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.memory.page_table import PageTable
+from repro.memory.tiers import TieredMemory
+
+
+@dataclass
+class PolicyCosts:
+    """CPU-time accounting for hot-page identification.
+
+    All values are microseconds of kernel CPU time charged to the
+    core shared with the application (the paper pins the migration
+    processes and the benchmark to the same core, §6).
+    """
+
+    total_us: float = 0.0
+    epoch_us: float = 0.0
+    #: Per-event cost multiplier.  Under time dilation, policies whose
+    #: work scales with footprint or access volume (ANB unmaps/faults,
+    #: full PTE scans, PEBS samples) charge dilated costs, because the
+    #: real system does `scale` times more of that work than the
+    #: scaled-down model; rate-based policies (DAMON's fixed-region
+    #: sampling) keep scale = 1.
+    scale: float = 1.0
+    events: dict = field(default_factory=dict)
+
+    def charge(self, us: float, event: str) -> None:
+        us *= self.scale
+        self.total_us += us
+        self.epoch_us += us
+        self.events[event] = self.events.get(event, 0.0) + us
+
+    def begin_epoch(self) -> None:
+        self.epoch_us = 0.0
+
+
+class MigrationPolicy(abc.ABC):
+    """Base class for hot-page identification + migration policies."""
+
+    name = "base"
+
+    def __init__(self, memory: TieredMemory, page_table: Optional[PageTable] = None):
+        self.memory = memory
+        self.page_table = (
+            page_table
+            if page_table is not None
+            else PageTable(memory.num_logical_pages)
+        )
+        self.costs = PolicyCosts()
+        # Hot-page list: logical page ids in identification order, plus
+        # the PFN each page had when identified (for PAC lookups).
+        self.hot_pages: List[int] = []
+        self.hot_pfns: List[int] = []
+        self._hot_seen = set()
+        self._pending_candidates: List[int] = []
+
+    # ------------------------------------------------------------------
+    # identification
+
+    def record_hot(self, logical_pages) -> None:
+        """Append newly identified hot pages to the hot-page list."""
+        for lpage in np.atleast_1d(np.asarray(logical_pages, dtype=np.int64)).tolist():
+            if lpage in self._hot_seen:
+                continue
+            self._hot_seen.add(lpage)
+            self.hot_pages.append(lpage)
+            self.hot_pfns.append(int(self.memory.frame_map[lpage]))
+            self._pending_candidates.append(lpage)
+
+    def on_epoch(self, pages: np.ndarray, now_s: float, epoch_s: float = 1.0) -> None:
+        """Feed one epoch of page accesses through the detector.
+
+        Args:
+            pages: the epoch's logical page access sequence.
+            now_s: simulated time at the start of the epoch.
+            epoch_s: (estimated) duration of this epoch in simulated
+                seconds — detectors with real-time cadences (scan
+                periods, sampling intervals) position their events
+                inside the epoch with it.
+        """
+        self.costs.begin_epoch()
+        self._detect(np.asarray(pages, dtype=np.int64), float(now_s), float(epoch_s))
+        self.page_table.tlb.age()
+
+    @abc.abstractmethod
+    def _detect(self, pages: np.ndarray, now_s: float, epoch_s: float) -> None: ...
+
+    # ------------------------------------------------------------------
+    # migration
+
+    def migration_candidates(self, limit: Optional[int] = None) -> np.ndarray:
+        """Hot pages identified since the last call (FIFO order)."""
+        take = len(self._pending_candidates) if limit is None else int(limit)
+        batch = self._pending_candidates[:take]
+        self._pending_candidates = self._pending_candidates[take:]
+        return np.asarray(batch, dtype=np.int64)
+
+    @property
+    def epoch_overhead_us(self) -> float:
+        return self.costs.epoch_us
+
+    @property
+    def total_overhead_us(self) -> float:
+        return self.costs.total_us
+
+
+class NoMigration(MigrationPolicy):
+    """The paper's baseline: leave every page on CXL DRAM."""
+
+    name = "none"
+
+    def _detect(self, pages: np.ndarray, now_s: float, epoch_s: float) -> None:
+        # Still drive the page table so fault/TLB behaviour is
+        # consistent across policies (no unmaps happen, so no faults).
+        self.page_table.touch(pages)

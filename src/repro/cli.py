@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the benchmark registry (Table 3 + Figure 4 extras);
+* ``run`` — one benchmark under one policy, with a summary;
+* ``compare`` — several policies on one benchmark, normalised to the
+  no-migration baseline;
+* ``profile`` — PAC/WAC offline profile (page heat + word sparsity);
+* ``hwcost`` — the Table 4 tracker cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis import AccessCdf, from_wac, print_table
+from repro.core import hwcost
+from repro.sim import ALL_POLICIES, SimConfig, Simulation
+from repro.workloads import registry
+
+
+def _config_from(args) -> SimConfig:
+    return SimConfig(
+        total_accesses=args.accesses,
+        chunk_size=args.chunk,
+        trace_subsample=args.subsample,
+        migrate=not getattr(args, "no_migrate", False),
+        checkpoints=getattr(args, "checkpoints", 1) or 1,
+    )
+
+
+def cmd_list(args) -> int:
+    rows = []
+    for name in registry.names():
+        spec = registry.spec_of(name)
+        rows.append(
+            [name, spec.paper_footprint_gb, spec.footprint_pages, spec.cores,
+             "p99" if spec.latency_sensitive else "time", spec.description]
+        )
+    print_table(
+        "Registered benchmarks",
+        ["name", "GB", "pages", "cores", "metric", "description"],
+        rows,
+        precision=1,
+        col_width=12,
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = registry.build(args.bench, seed=args.seed)
+    sim = Simulation(workload, _config_from(args), policy=args.policy)
+    result = sim.run()
+    print(f"benchmark     : {result.benchmark}")
+    print(f"policy        : {result.policy}")
+    print(f"execution time: {result.execution_time_s:.2f} s "
+          f"(app {result.app_time_s:.2f}, overhead "
+          f"{result.overhead_time_s:.3f}, migration "
+          f"{result.migration_time_s:.3f})")
+    if result.p99_latency_us is not None:
+        print(f"p99 latency   : {result.p99_latency_us:.2f} us")
+    print(f"promoted      : {result.promoted}  demoted: {result.demoted}")
+    print(f"DDR/CXL pages : {result.nr_pages_ddr} / {result.nr_pages_cxl}")
+    if result.access_count_ratio is not None:
+        print(f"access-count ratio: {result.access_count_ratio:.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in ALL_POLICIES]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}")
+        return 2
+    base = Simulation(
+        registry.build(args.bench, seed=args.seed), _config_from(args),
+        policy="none",
+    ).run()
+    rows = []
+    for policy in policies:
+        result = Simulation(
+            registry.build(args.bench, seed=args.seed), _config_from(args),
+            policy=policy,
+        ).run()
+        if base.p99_latency_us and result.p99_latency_us:
+            norm = base.p99_latency_us / result.p99_latency_us
+        else:
+            norm = base.execution_time_s / result.execution_time_s
+        rows.append([policy, result.execution_time_s, norm,
+                     result.promoted, result.demoted])
+    print_table(
+        f"{args.bench}: performance normalised to no migration",
+        ["policy", "exec_s", "norm", "promoted", "demoted"],
+        rows,
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    workload = registry.build(args.bench, seed=args.seed)
+    config = _config_from(args)
+    config.migrate = False
+    sim = Simulation(workload, config, policy="none", enable_wac=True)
+    sim.run()
+    cdf = AccessCdf.from_counts(args.bench, sim.pac.counts())
+    skew = cdf.skew_summary()
+    profile = from_wac(args.bench, sim.wac, min_accesses=128)
+    print(f"pages touched  : {cdf.counts.size}")
+    print(f"p90/p95/p99 over p50: {skew['p90_over_p50']:.2f} / "
+          f"{skew['p95_over_p50']:.2f} / {skew['p99_over_p50']:.2f}")
+    print(f"gini           : {cdf.gini():.3f}")
+    for n in (4, 8, 16, 32, 48):
+        print(f"P(<= {n:2d} words) : {profile.at(n):.2f}")
+    kind = "sparse" if profile.mostly_sparse else (
+        "dense" if profile.mostly_dense else "mixed")
+    print(f"page character : {kind}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import profile_benchmark, render_markdown
+
+    profile = profile_benchmark(
+        args.bench, total_accesses=args.accesses, seed=args.seed
+    )
+    text = render_markdown(profile)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_hwcost(args) -> int:
+    rows = []
+    for row in hwcost.table4():
+        rows.append(
+            [row["entries"], row["space_saving_area_um2"],
+             row["cm_sketch_area_um2"], row["space_saving_power_mw"],
+             row["cm_sketch_power_mw"]]
+        )
+    print_table(
+        "Tracker cost model (Table 4): area um^2 / power mW",
+        ["entries", "SS_area", "CMS_area", "SS_power", "CMS_power"],
+        rows,
+        precision=1,
+    )
+    rel = hwcost.relative_cost(2048)
+    print(f"at N=2K: Space-Saving costs {rel['area_ratio']:.1f}x area and "
+          f"{rel['power_ratio']:.1f}x power of CM-Sketch")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="M5 (ASPLOS 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered benchmarks")
+
+    def add_run_args(p, with_policy=True):
+        p.add_argument("--bench", required=True,
+                       help="benchmark name (see `list`)")
+        if with_policy:
+            p.add_argument("--policy", default="m5-hpt", choices=ALL_POLICIES)
+        p.add_argument("--accesses", type=int, default=1_000_000)
+        p.add_argument("--chunk", type=int, default=16_384)
+        p.add_argument("--subsample", type=float, default=64.0)
+        p.add_argument("--seed", type=int, default=1)
+
+    run = sub.add_parser("run", help="run one benchmark under one policy")
+    add_run_args(run)
+    run.add_argument("--no-migrate", action="store_true",
+                     help="identification-only mode (§4.1 S1)")
+    run.add_argument("--checkpoints", type=int, default=10)
+
+    compare = sub.add_parser("compare", help="compare policies")
+    add_run_args(compare, with_policy=False)
+    compare.add_argument("--policies", default="anb,damon,m5-hpt")
+
+    profile = sub.add_parser("profile", help="PAC/WAC offline profile")
+    add_run_args(profile, with_policy=False)
+
+    report = sub.add_parser("report", help="full Markdown profile report")
+    add_run_args(report, with_policy=False)
+    report.add_argument("--output", default=None,
+                        help="write the report to a file instead of stdout")
+
+    sub.add_parser("hwcost", help="Table 4 tracker cost model")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "profile": cmd_profile,
+        "report": cmd_report,
+        "hwcost": cmd_hwcost,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

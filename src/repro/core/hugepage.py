@@ -1,0 +1,125 @@
+"""Hot huge pages: the §8 extension of M5.
+
+The paper's benchmarks allocate only 4KB pages, but §8 sketches two
+ways to support 2MB huge pages:
+
+1. **aggregation** — derive hot 2MB-page addresses from HPT's hot 4KB
+   page addresses, exactly like hot 4KB pages are derived from HWT's
+   hot 64B words (§5.2);
+2. **a second HPT** configured at 2MB granularity.
+
+Both paths must "consult with the OS to check whether these page
+addresses belong to allocated huge pages".  This module implements
+path 1 as :class:`HugePageAggregator` (a Nominator-style structure
+with a 512-bit occupancy mask per 2MB region) and provides the OS
+consultation hook; path 2 falls out of the tracker framework for free
+(a :class:`~repro.core.trackers.TopKTracker` keyed by ``PA >> 21``),
+provided here as :func:`make_huge_hpt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.trackers import CmSketchTopK, TopKTracker
+
+#: 4KB pages per 2MB huge page.
+PAGES_PER_HUGE = 512
+#: log2(PAGES_PER_HUGE)
+HUGE_SHIFT = 9
+
+
+@dataclass
+class HugeEntry:
+    """Aggregated hotness of one 2MB region."""
+
+    hfn: int                       # huge-frame number (PA >> 21)
+    count: int = 0                 # accumulated 4KB hot-page counts
+    present_pages: set = field(default_factory=set)
+
+    @property
+    def occupancy(self) -> int:
+        """How many of the 512 constituent 4KB pages were hot."""
+        return len(self.present_pages)
+
+
+class HugePageAggregator:
+    """Builds hot-2MB-page candidates from HPT's hot 4KB pages.
+
+    Args:
+        is_huge_allocated: the OS consultation hook — returns True when
+            the huge-frame number is backed by an actual 2MB mapping
+            (pages inside non-huge mappings must migrate at 4KB
+            granularity instead).
+        min_occupancy: minimum number of hot 4KB pages before a 2MB
+            region is nominated (the density guard: promoting a 2MB
+            page for one hot 4KB page wastes 511 frames of fast
+            memory).
+    """
+
+    def __init__(
+        self,
+        is_huge_allocated: Optional[Callable[[int], bool]] = None,
+        min_occupancy: int = 8,
+    ):
+        if not 1 <= min_occupancy <= PAGES_PER_HUGE:
+            raise ValueError("min_occupancy must be in [1, 512]")
+        self.is_huge_allocated = is_huge_allocated or (lambda hfn: True)
+        self.min_occupancy = int(min_occupancy)
+        self._entries: Dict[int, HugeEntry] = {}
+        self.rejected_not_huge = 0
+
+    def update_from_hpt(self, entries: Sequence[Tuple[int, int]]) -> None:
+        """Ingest an HPT query: (4KB PFN, estimated count) pairs."""
+        for pfn, count in entries:
+            hfn = int(pfn) >> HUGE_SHIFT
+            entry = self._entries.get(hfn)
+            if entry is None:
+                entry = self._entries[hfn] = HugeEntry(hfn=hfn)
+            entry.count += int(count)
+            entry.present_pages.add(int(pfn) & (PAGES_PER_HUGE - 1))
+
+    def nominate(self, limit: Optional[int] = None) -> List[HugeEntry]:
+        """Hot 2MB candidates, hottest first, OS-validated.
+
+        Consumes the accumulated state (query-and-reset, like the
+        trackers).  Regions failing the OS huge-allocation check or
+        the occupancy guard are dropped.
+        """
+        candidates = []
+        for entry in self._entries.values():
+            if entry.occupancy < self.min_occupancy:
+                continue
+            if not self.is_huge_allocated(entry.hfn):
+                self.rejected_not_huge += 1
+                continue
+            candidates.append(entry)
+        candidates.sort(key=lambda e: (-e.count, e.hfn))
+        self._entries.clear()
+        if limit is not None:
+            candidates = candidates[: int(limit)]
+        return candidates
+
+    @property
+    def pending(self) -> int:
+        return len(self._entries)
+
+
+def make_huge_hpt(
+    k: int = 16, num_counters: int = 32 * 1024, **kwargs
+) -> TopKTracker:
+    """§8's alternative: an HPT tracking 2MB page addresses directly.
+
+    Implemented as a CM-Sketch tracker whose keys are ``PA >> 21``;
+    reuses the page-granularity machinery with an extra 9-bit shift
+    applied to the observed addresses.
+    """
+    tracker = CmSketchTopK(k, num_counters=num_counters, granularity="page",
+                           **kwargs)
+    # Re-key: page shift (12) + huge shift (9) = 21 bits.
+    tracker._shift = np.uint64(21)
+    tracker.granularity = "huge-page"
+    return tracker

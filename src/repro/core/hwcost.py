@@ -1,0 +1,182 @@
+"""Hardware cost model for the top-K trackers (paper Table 4).
+
+Reproduces the paper's synthesis study (§7.1): area and power of the
+Space-Saving (CAM-based) and CM-Sketch (SRAM-based) top-5 trackers in
+a 7nm logic process (ASAP7-class), and the feasibility limits imposed
+by the 400 MHz timing constraint — one access per 2.5 ns tCCD of
+DDR4-3200.
+
+The model is *calibrated*: the per-entry area/power structure
+(bitcells + match/comparator periphery for the CAM, banked SRAM macro
+plus a fixed K-entry CAM for the sketch) is interpolated through the
+paper's published design points in log-space, and extrapolated with
+the boundary slopes.  The calibration points are the eight rows of
+Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Table 4 calibration points: N -> (area um^2, power mW).
+SPACE_SAVING_POINTS = {
+    50: (3_649.0, 0.7),
+    100: (7_323.0, 1.3),
+    512: (36_374.0, 6.4),
+    1024: (89_369.0, 15.0),
+    2048: (179_625.0, 29.9),
+}
+CM_SKETCH_POINTS = {
+    50: (1_899.0, 2.0),
+    100: (2_134.0, 2.2),
+    512: (2_878.0, 2.7),
+    1024: (3_714.0, 3.2),
+    2048: (5_346.0, 3.9),
+    8192: (13_509.0, 7.9),
+    32768: (46_930.0, 23.2),
+    131072: (180_530.0, 83.8),
+}
+
+#: Feasibility limits under the 400 MHz constraint (§7.1): the FPGA
+#: synthesis caps the Space-Saving CAM at 50 entries and the CM-Sketch
+#: SRAM at 128K entries; the 7nm ASIC CAM reaches ~2K.
+MAX_ENTRIES = {
+    ("space-saving", "fpga"): 50,
+    ("space-saving", "asic7nm"): 2048,
+    ("cm-sketch", "fpga"): 128 * 1024,
+    ("cm-sketch", "asic7nm"): 1024 * 1024,
+}
+
+REQUIRED_FREQUENCY_HZ = 400e6
+#: tCCD of DDR4-3200 — the max memory access rate the tracker must absorb.
+TCCD_NS = 2.5
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Synthesis-style cost report for one tracker design point."""
+
+    algorithm: str
+    num_entries: int
+    area_um2: float
+    power_mw: float
+    technology: str = "asic7nm"
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+
+def _points_for(algorithm: str) -> dict:
+    if algorithm == "space-saving":
+        return SPACE_SAVING_POINTS
+    if algorithm == "cm-sketch":
+        return CM_SKETCH_POINTS
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _log_interp(n: int, points: dict, column: int) -> float:
+    """Piecewise log-log interpolation through calibration points."""
+    xs = np.array(sorted(points))
+    ys = np.array([points[x][column] for x in xs])
+    logx, logy = np.log(xs), np.log(ys)
+    ln = np.log(n)
+    if ln <= logx[0]:
+        slope = (logy[1] - logy[0]) / (logx[1] - logx[0])
+        return float(np.exp(logy[0] + slope * (ln - logx[0])))
+    if ln >= logx[-1]:
+        slope = (logy[-1] - logy[-2]) / (logx[-1] - logx[-2])
+        return float(np.exp(logy[-1] + slope * (ln - logx[-1])))
+    return float(np.exp(np.interp(ln, logx, logy)))
+
+
+def feasible_entries(algorithm: str, technology: str = "asic7nm") -> int:
+    """Maximum N meeting the 400 MHz constraint for a platform."""
+    try:
+        return MAX_ENTRIES[(algorithm, technology)]
+    except KeyError:
+        raise ValueError(f"unknown platform {(algorithm, technology)!r}") from None
+
+
+def is_feasible(algorithm: str, num_entries: int, technology: str = "asic7nm") -> bool:
+    """Does the design point close timing at 400 MHz?"""
+    return 0 < num_entries <= feasible_entries(algorithm, technology)
+
+
+def estimate(
+    algorithm: str, num_entries: int, technology: str = "asic7nm"
+) -> Optional[CostEstimate]:
+    """Area/power for a design point; None when timing cannot close.
+
+    Mirrors Table 4's blank cells: the Space-Saving CAM has no valid
+    synthesis result beyond 2K entries.
+    """
+    if num_entries <= 0:
+        raise ValueError("num_entries must be positive")
+    if not is_feasible(algorithm, num_entries, technology):
+        return None
+    points = _points_for(algorithm)
+    return CostEstimate(
+        algorithm=algorithm,
+        num_entries=int(num_entries),
+        area_um2=_log_interp(num_entries, points, 0),
+        power_mw=_log_interp(num_entries, points, 1),
+        technology=technology,
+    )
+
+
+def table4(entries=(50, 100, 512, 1024, 2048, 8192, 32768, 131072)):
+    """Regenerate Table 4: rows of (N, SS area, CMS area, SS power,
+    CMS power); infeasible cells are None."""
+    rows = []
+    for n in entries:
+        ss = estimate("space-saving", n)
+        cms = estimate("cm-sketch", n)
+        rows.append(
+            {
+                "entries": n,
+                "space_saving_area_um2": ss.area_um2 if ss else None,
+                "cm_sketch_area_um2": cms.area_um2 if cms else None,
+                "space_saving_power_mw": ss.power_mw if ss else None,
+                "cm_sketch_power_mw": cms.power_mw if cms else None,
+            }
+        )
+    return rows
+
+
+def relative_cost(num_entries: int = 2048) -> dict:
+    """Headline §7.1 ratio: SS vs CMS chip space and power at equal N
+    (paper: 33.6x area and 7.6x power at N = 2K)."""
+    ss = estimate("space-saving", num_entries)
+    cms = estimate("cm-sketch", num_entries)
+    if ss is None or cms is None:
+        raise ValueError(f"N={num_entries} infeasible for one design")
+    return {
+        "area_ratio": ss.area_um2 / cms.area_um2,
+        "power_ratio": ss.power_mw / cms.power_mw,
+    }
+
+
+def chip_overhead_fraction(
+    num_entries: int = 32768,
+    dram_module_gb: float = 8.0,
+    dram_die_area_mm2_per_gb: float = 60.0,
+) -> float:
+    """Tracker area as a fraction of the DRAM dies it serves.
+
+    The paper reports ~0.01% of the total die area of an 8GB module
+    for the 32K-entry CM-Sketch tracker (§8).
+    """
+    cms = estimate("cm-sketch", num_entries)
+    if cms is None:
+        raise ValueError("infeasible design point")
+    total_die_mm2 = dram_module_gb * dram_die_area_mm2_per_gb
+    return cms.area_mm2 / total_die_mm2
+
+
+def max_access_rate_hz() -> float:
+    """Peak request rate the tracker must sustain (1 / tCCD)."""
+    return 1.0 / (TCCD_NS * 1e-9)

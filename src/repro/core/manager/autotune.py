@@ -1,0 +1,82 @@
+"""Adaptive Elector tuning: the future work the paper scopes out.
+
+§7 notes the evaluation does "not use any adaptive algorithm to
+determine f_default for a given benchmark (i.e., out of our intended
+scope)" — the authors hand-pick n and f_default per benchmark.  This
+module implements that adaptive algorithm: a multiplicative-
+increase / multiplicative-decrease controller over ``f_default``,
+driven by the same signal Algorithm 1 already trusts — whether recent
+migration raised DDR's share of consumed bandwidth.
+
+* When triggered migrations are followed by a rising DDR bandwidth
+  share, migration is paying off → raise the frequency.
+* When migrations happen but the share stalls, the manager is churning
+  → lower the frequency (toward letting the dead band stop it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.manager.elector import Elector, ElectorDecision
+from repro.core.manager.monitor import MonitorSample
+
+
+class AdaptiveElector(Elector):
+    """Elector with MIMD self-tuning of ``f_default``.
+
+    Args:
+        f_min / f_max: clamp for the tuned frequency.
+        increase / decrease: multiplicative step factors.
+        kwargs: forwarded to :class:`Elector`.
+    """
+
+    def __init__(
+        self,
+        f_default: float = 1.0,
+        f_min: float = 0.1,
+        f_max: float = 16.0,
+        increase: float = 1.5,
+        decrease: float = 0.67,
+        **kwargs,
+    ):
+        super().__init__(f_default=f_default, **kwargs)
+        if not 0 < f_min <= f_default <= f_max:
+            raise ValueError("need 0 < f_min <= f_default <= f_max")
+        if increase <= 1.0 or not 0 < decrease < 1.0:
+            raise ValueError("increase must be >1, decrease in (0, 1)")
+        self.f_min = float(f_min)
+        self.f_max = float(f_max)
+        self.increase = float(increase)
+        self.decrease = float(decrease)
+        self._migrated_last_period = False
+        self._share_before_migration = 0.0
+        self.adjustments_up = 0
+        self.adjustments_down = 0
+
+    def step(
+        self, now_s: float, sample: MonitorSample
+    ) -> Optional[ElectorDecision]:
+        total = sample.bw_tot
+        share = sample.bw_ddr / total if total else 0.0
+        if self._migrated_last_period:
+            # Judge the previous period's migrations by their effect.
+            if share - self._share_before_migration > self.improvement_epsilon:
+                self.f_default = min(self.f_default * self.increase, self.f_max)
+                self.adjustments_up += 1
+            else:
+                self.f_default = max(self.f_default * self.decrease, self.f_min)
+                self.adjustments_down += 1
+            self._migrated_last_period = False
+        decision = super().step(now_s, sample)
+        if decision is not None and decision.migrate:
+            self._migrated_last_period = True
+            self._share_before_migration = share
+        return decision
+
+    def reset(self) -> None:
+        super().reset()
+        self._migrated_last_period = False
+        self._share_before_migration = 0.0
+        self.adjustments_up = 0
+        self.adjustments_down = 0

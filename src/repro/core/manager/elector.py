@@ -1,0 +1,179 @@
+"""Elector: the migration policy loop of M5-manager (paper §5.2 ③,
+Algorithm 1).
+
+Each iteration:
+
+1. compute the period ``T = 1 / (fscale(bw_den(CXL)/bw_den(DDR)) *
+   f_default)`` — migration runs more often when CXL DRAM holds more
+   bandwidth per page than DDR DRAM (Guideline 1);
+2. compute ``rel_bw_den(DDR) = bw_den(DDR) / bw_tot``; if it increased
+   since the previous period, the previous migrations helped, so keep
+   migrating (Guideline 2) — otherwise skip this period;
+3. sleep T.
+
+``fscale`` may be any monotonically increasing function; the paper
+suggests ``y = x**n`` or ``y = n * exp(x)`` with tunable n and uses
+``x**n`` with n in 3..6 for the evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.manager.monitor import MonitorSample
+from repro.memory.tiers import NodeKind
+
+
+def power_fscale(n: float = 4.0) -> Callable[[float], float]:
+    """The paper's evaluation choice: ``y = x**n`` (n in 3..6)."""
+    if n <= 0:
+        raise ValueError("exponent must be positive")
+
+    def fscale(x: float) -> float:
+        if x <= 0:
+            return 0.0
+        if math.isinf(x):
+            return float("inf")
+        return x**n
+
+    return fscale
+
+
+def exp_fscale(n: float = 1.0) -> Callable[[float], float]:
+    """The alternative shape mentioned in §5.2: ``y = n * exp(x)``."""
+    if n <= 0:
+        raise ValueError("scale must be positive")
+
+    def fscale(x: float) -> float:
+        if math.isinf(x):
+            return float("inf")
+        return n * math.exp(x)
+
+    return fscale
+
+
+@dataclass
+class ElectorDecision:
+    """Outcome of one Elector evaluation."""
+
+    migrate: bool
+    period_s: float
+    rel_bw_den_ddr: float
+    bw_den_ratio: float
+
+
+class Elector:
+    """Algorithm 1 as a discrete-time policy object.
+
+    Instead of sleeping, the simulator calls :meth:`step` with the
+    current time and the epoch's Monitor sample; Elector internally
+    tracks when its next evaluation is due.
+
+    Args:
+        f_default: base migration frequency in Hz (paper tries 1).
+        fscale: monotonic scaling function (default ``x**4``).
+        min_period_s / max_period_s: clamp for T, so a cold start
+            (bw_den ratio = inf) maps to the fastest allowed cadence.
+        always_first: migrate unconditionally on the first evaluation
+            (there is no previous ``rel_bw_den`` to compare against).
+    """
+
+    def __init__(
+        self,
+        f_default: float = 1.0,
+        fscale: Optional[Callable[[float], float]] = None,
+        min_period_s: float = 1e-3,
+        max_period_s: float = 10.0,
+        always_first: bool = True,
+        improvement_epsilon: float = 1e-2,
+    ):
+        if f_default <= 0:
+            raise ValueError("f_default must be positive")
+        if not 0 < min_period_s <= max_period_s:
+            raise ValueError("need 0 < min_period_s <= max_period_s")
+        self.f_default = float(f_default)
+        self.fscale = fscale if fscale is not None else power_fscale(4.0)
+        self.min_period_s = float(min_period_s)
+        self.max_period_s = float(max_period_s)
+        self.always_first = bool(always_first)
+        #: Minimum rise in rel_bw_den / bw-share that counts as an
+        #: improvement.  Bandwidth counters sampled over short windows
+        #: are noisy; without a dead band the > 0 tests of Algorithm 1
+        #: fire on noise about half the time, and the manager keeps
+        #: churning pages in steady state.
+        self.improvement_epsilon = float(improvement_epsilon)
+        self._prev_rel_bw_den: Optional[float] = None
+        self._prev_bw_share = 0.0
+        self._next_due_s = 0.0
+        self.evaluations = 0
+        self.migrations_triggered = 0
+
+    def period_for(self, sample: MonitorSample) -> float:
+        """T from Algorithm 1 line 2, clamped to the configured range."""
+        scale = self.fscale(sample.bw_den_ratio())
+        if scale <= 0:
+            return self.max_period_s
+        if math.isinf(scale):
+            return self.min_period_s
+        period = 1.0 / (scale * self.f_default)
+        return min(max(period, self.min_period_s), self.max_period_s)
+
+    def due(self, now_s: float) -> bool:
+        """Is the next Algorithm 1 iteration due at ``now_s``?"""
+        return now_s >= self._next_due_s
+
+    def step(self, now_s: float, sample: MonitorSample) -> Optional[ElectorDecision]:
+        """Run one Algorithm 1 iteration if due; None when sleeping."""
+        if not self.due(now_s):
+            return None
+        self.evaluations += 1
+        rel = sample.rel_bw_den(NodeKind.DDR)
+        total = sample.bw_tot
+        bw_share = sample.bw_ddr / total if total else 0.0
+        if self._prev_rel_bw_den is None:
+            migrate = self.always_first
+        else:
+            # Migrate when any of the paper's conditions holds:
+            #  * Algorithm 1 line 6 — rel_bw_den(DDR) rose, i.e. the
+            #    previous batch increased DDR's bandwidth density
+            #    share;
+            #  * Guideline 1 — CXL DRAM still holds more bandwidth per
+            #    page than DDR DRAM ("as soon and aggressively as
+            #    possible");
+            #  * Guideline 2 — bw(DDR) keeps increasing (tracked as
+            #    its phase-robust share of total bandwidth), "even if
+            #    bw_den(DDR) exceeds bw_den(CXL)".
+            # While DDR still has free frames, promotion costs no
+            # demotion and is pure gain; the paper's methodology
+            # likewise fills the DDR allowance before the demote-one-
+            # per-promote regime starts (§7).  Migration stops only
+            # when no condition fires — the churn regime where DDR is
+            # full and swaps no longer raise its share.
+            eps = self.improvement_epsilon
+            migrate = (
+                sample.ddr_free_pages > 0
+                or rel - self._prev_rel_bw_den > eps
+                or sample.bw_den_ratio() > 1.0
+                or bw_share - self._prev_bw_share > eps
+            )
+        self._prev_rel_bw_den = rel
+        self._prev_bw_share = bw_share
+        period = self.period_for(sample)
+        self._next_due_s = now_s + period
+        if migrate:
+            self.migrations_triggered += 1
+        return ElectorDecision(
+            migrate=migrate,
+            period_s=period,
+            rel_bw_den_ddr=rel,
+            bw_den_ratio=sample.bw_den_ratio(),
+        )
+
+    def reset(self) -> None:
+        self._prev_rel_bw_den = None
+        self._prev_bw_share = 0.0
+        self._next_due_s = 0.0
+        self.evaluations = 0
+        self.migrations_triggered = 0

@@ -1,0 +1,113 @@
+"""M5Manager: the facade wiring Monitor, Nominator, Elector, and
+Promoter together (paper Figure 6).
+
+The manager is almost entirely user-space (only Promoter's worker is
+in-kernel), so its CPU cost is a handful of MMIO reads plus a little
+list processing per Elector period — the "virtually no performance
+cost" property that lets M5 beat ANB/DAMON even when the selected
+pages are comparable (§7.2, Redis discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.manager.elector import Elector, ElectorDecision
+from repro.core.manager.monitor import Monitor
+from repro.core.manager.nominator import HPT_ONLY, Nominator
+from repro.core.manager.promoter import Promoter
+from repro.core.trackers import TopKTracker
+from repro.memory.migration import MigrationEngine
+from repro.memory.tiers import TieredMemory
+
+#: CPU time for one manager activation: query both trackers over MMIO
+#: (K entries each), update _HPA/_HWA, and write the proc file.  A few
+#: microseconds — deliberately tiny next to ANB/DAMON's scanning.
+MANAGER_ACTIVATION_US = 5.0
+
+
+@dataclass
+class ManagerStepResult:
+    """Everything that happened in one manager step."""
+
+    decision: Optional[ElectorDecision]
+    nominated: int = 0
+    promoted: int = 0
+    overhead_us: float = 0.0
+
+
+class M5Manager:
+    """User-space page-migration manager driving HPT/HWT.
+
+    Args:
+        memory: the tiered-memory system being managed.
+        engine: migration engine (owns MGLRU demotion).
+        hpt: Hot-Page Tracker (required).
+        hwt: Hot-Word Tracker (optional; required by the HPT-driven
+            and HWT-driven Nominator modes).
+        nominator: candidate-selection mechanism.
+        elector: Algorithm 1 policy (default parameters if omitted).
+        batch_limit: maximum pages promoted per activation.
+    """
+
+    def __init__(
+        self,
+        memory: TieredMemory,
+        engine: MigrationEngine,
+        hpt: TopKTracker,
+        hwt: Optional[TopKTracker] = None,
+        nominator: Optional[Nominator] = None,
+        elector: Optional[Elector] = None,
+        batch_limit: Optional[int] = None,
+        dry_run: bool = False,
+    ):
+        self.memory = memory
+        self.monitor = Monitor(memory)
+        self.nominator = nominator if nominator is not None else Nominator(HPT_ONLY)
+        self.elector = elector if elector is not None else Elector()
+        self.promoter = Promoter(memory, engine)
+        self.hpt = hpt
+        self.hwt = hwt
+        if self.nominator.mode != HPT_ONLY and hwt is None:
+            raise ValueError(f"nominator mode {self.nominator.mode!r} needs an HWT")
+        self.batch_limit = batch_limit
+        #: dry_run nominates (for access-count-ratio scoring) but never
+        #: promotes — the §4.1 S1 "do not migrate" instrumentation mode.
+        self.dry_run = bool(dry_run)
+        self.cpu_overhead_us = 0.0
+        # Accumulated record of every page the manager nominated, for
+        # the access-count-ratio evaluation (§7.2, Figure 8).
+        self.nominated_history: list = []
+
+    def step(self, now_s: float) -> ManagerStepResult:
+        """Run one epoch: sample Monitor, maybe run Algorithm 1 body.
+
+        Call after the epoch's memory traffic has been applied to the
+        tiered-memory counters.
+        """
+        sample = self.monitor.sample()
+        decision = self.elector.step(now_s, sample)
+        result = ManagerStepResult(decision=decision)
+        if decision is None:
+            return result
+        # An activation queries the trackers regardless of the migrate
+        # verdict (the query itself resets them for the next window).
+        self.nominator.update_from_hpt(self.hpt.query())
+        if self.hwt is not None:
+            self.nominator.update_from_hwt(self.hwt.query())
+        result.overhead_us = MANAGER_ACTIVATION_US
+        self.cpu_overhead_us += MANAGER_ACTIVATION_US
+        # In dry-run (identification-only) mode the Algorithm 1
+        # feedback signal is frozen — nothing migrates, so
+        # rel_bw_den(DDR) never moves — hence every activation
+        # nominates, matching the paper's Figure 8 methodology where
+        # the trackers are "queried at rates determined by Elector".
+        if decision.migrate or self.dry_run:
+            nomination = self.nominator.nominate(limit=self.batch_limit)
+            result.nominated = len(nomination.pfns)
+            self.nominated_history.extend(nomination.pfns)
+            if nomination.pfns and not self.dry_run:
+                report = self.promoter.promote(nomination.pfns)
+                result.promoted = report.promoted
+        return result

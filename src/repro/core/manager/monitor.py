@@ -1,0 +1,99 @@
+"""Monitor: the statistics front-end of M5-manager (paper §5.2 ①).
+
+Monitor publishes the three Table 1 functions — ``nr_pages(node)``,
+``bw(node)``, ``bw_den(node)`` — plus the derived quantities Elector's
+Algorithm 1 consumes (``bw_tot`` and ``rel_bw_den``).  On the real
+system these come from ``/proc/zoneinfo`` and ``pcm``; here they bind
+to the tiered-memory model, which accounts exactly the same
+information (read accesses per node per epoch and page occupancy).
+
+Only *read* bandwidth is reported, matching the paper's argument that
+LLC-missing writes first appear as reads under write-allocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.tiers import NodeKind, TieredMemory
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One epoch's worth of Monitor statistics."""
+
+    nr_pages_ddr: int
+    nr_pages_cxl: int
+    bw_ddr: float
+    bw_cxl: float
+    #: Free DDR frames (from /proc/zoneinfo's free counts): while DDR
+    #: has unused capacity, promoting any hot page is pure gain.
+    ddr_free_pages: int = 0
+
+    @property
+    def bw_tot(self) -> float:
+        """Total consumed bandwidth (Algorithm 1 line 4); a proxy for
+        application performance in a given phase (§5.2)."""
+        return self.bw_ddr + self.bw_cxl
+
+    def bw_den(self, node: NodeKind) -> float:
+        """bw(node) / nr_pages(node), in bytes/sec per page."""
+        if node is NodeKind.DDR:
+            pages, bw = self.nr_pages_ddr, self.bw_ddr
+        else:
+            pages, bw = self.nr_pages_cxl, self.bw_cxl
+        return bw / pages if pages else 0.0
+
+    def rel_bw_den(self, node: NodeKind) -> float:
+        """bw_den(node) / bw_tot (Algorithm 1 line 5) — normalising by
+        total bandwidth cancels execution-phase intensity changes."""
+        total = self.bw_tot
+        return self.bw_den(node) / total if total else 0.0
+
+    def bw_den_ratio(self) -> float:
+        """bw_den(CXL) / bw_den(DDR), the input to fscale().
+
+        When DDR holds no pages yet (cold start, everything on CXL)
+        the ratio is treated as maximal so migration starts as
+        aggressively as possible (Guideline 1).
+        """
+        ddr = self.bw_den(NodeKind.DDR)
+        cxl = self.bw_den(NodeKind.CXL)
+        if ddr == 0.0:
+            return float("inf") if cxl > 0.0 else 1.0
+        return cxl / ddr
+
+
+class Monitor:
+    """Samples the tiered-memory statistics once per epoch."""
+
+    def __init__(self, memory: TieredMemory):
+        self.memory = memory
+        self.history: list = []
+
+    def sample(self) -> MonitorSample:
+        """Capture this epoch's statistics and append to history."""
+        s = MonitorSample(
+            nr_pages_ddr=self.memory.nr_pages(NodeKind.DDR),
+            nr_pages_cxl=self.memory.nr_pages(NodeKind.CXL),
+            bw_ddr=self.memory.bw(NodeKind.DDR),
+            bw_cxl=self.memory.bw(NodeKind.CXL),
+            ddr_free_pages=self.memory.ddr.free_pages,
+        )
+        self.history.append(s)
+        return s
+
+    @property
+    def last(self) -> MonitorSample:
+        if not self.history:
+            raise RuntimeError("no samples collected yet")
+        return self.history[-1]
+
+    def nr_pages(self, node: NodeKind) -> int:
+        return self.last.nr_pages_ddr if node is NodeKind.DDR else self.last.nr_pages_cxl
+
+    def bw(self, node: NodeKind) -> float:
+        return self.last.bw_ddr if node is NodeKind.DDR else self.last.bw_cxl
+
+    def bw_den(self, node: NodeKind) -> float:
+        return self.last.bw_den(node)

@@ -1,0 +1,88 @@
+"""Promoter: the kernel-side migration interface (paper §5.2 ④).
+
+Promoter is the only in-kernel piece of M5-manager.  Elector hands it
+hot-page physical addresses; Promoter writes them to a proc file,
+checks that each page may be migrated safely (not DMA-pinned, not
+explicitly bound to the CXL node), and finally calls
+``migrate_pages()`` — modelled here by the
+:class:`~repro.memory.migration.MigrationEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.memory.migration import MigrationEngine
+from repro.memory.tiers import TieredMemory
+
+
+@dataclass
+class ProcFile:
+    """The /proc entry Elector writes hot-page PFNs into.
+
+    Writes append to a pending buffer; the in-kernel worker consumes
+    the buffer when it runs.  Keeping the file model explicit lets the
+    tests exercise the same user/kernel handoff contract the paper's
+    implementation has.
+    """
+
+    pending: List[int] = field(default_factory=list)
+    writes: int = 0
+
+    def write(self, pfns: Sequence[int]) -> None:
+        self.pending.extend(int(p) for p in pfns)
+        self.writes += 1
+
+    def drain(self) -> List[int]:
+        batch, self.pending = self.pending, []
+        return batch
+
+
+@dataclass
+class PromotionReport:
+    """What happened to one promotion request."""
+
+    requested: int = 0
+    unknown_pfn: int = 0
+    promoted: int = 0
+    rejected: int = 0
+
+
+class Promoter:
+    """Safe migration of nominated pages into DDR DRAM."""
+
+    def __init__(self, memory: TieredMemory, engine: MigrationEngine):
+        self.memory = memory
+        self.engine = engine
+        self.proc_file = ProcFile()
+        self.total = PromotionReport()
+
+    def request(self, pfns: Sequence[int]) -> None:
+        """User-space half: write hot-page addresses to the proc file."""
+        self.proc_file.write(pfns)
+
+    def run_kernel_worker(self) -> PromotionReport:
+        """Kernel half: drain the proc file, validate, migrate."""
+        pfns = self.proc_file.drain()
+        report = PromotionReport(requested=len(pfns))
+        if not pfns:
+            return report
+        lpages = self.memory.logical_pages_of_pfns(np.asarray(pfns, dtype=np.int64))
+        known = lpages[lpages >= 0]
+        report.unknown_pfn = int((lpages < 0).sum())
+        rejected_before = self.engine.stats.rejected
+        report.promoted = self.engine.promote(known)
+        report.rejected = self.engine.stats.rejected - rejected_before
+        self.total.requested += report.requested
+        self.total.unknown_pfn += report.unknown_pfn
+        self.total.promoted += report.promoted
+        self.total.rejected += report.rejected
+        return report
+
+    def promote(self, pfns: Sequence[int]) -> PromotionReport:
+        """Convenience: request + immediately run the kernel worker."""
+        self.request(pfns)
+        return self.run_kernel_worker()

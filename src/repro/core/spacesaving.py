@@ -1,0 +1,136 @@
+"""Space-Saving and Misra–Gries trackers: the CAM-based comparison
+points for the CM-Sketch top-K tracker.
+
+The paper evaluates a Space-Saving variant in the style of the Mithril
+Row-Hammer defence (§5.1): an N-entry sorted CAM stores (address,
+count) pairs.  Hits increment the matching counter; a miss with a full
+table replaces the minimum entry, inheriting ``min + 1`` (Space-Saving
+proper) so the estimate is a guaranteed overestimate.
+
+Because every lookup must search all N CAM entries in parallel, N is
+capped by timing: the paper's synthesis finds at most 50 entries on
+the Agilex-7 FPGA and ~2K in 7nm ASIC at 400 MHz (§7.1, Table 4) —
+that constraint lives in :mod:`repro.core.hwcost`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class SpaceSaving:
+    """Classic Space-Saving stream summary with N counters.
+
+    Args:
+        capacity: N, the number of CAM entries.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._counts: Dict[int, int] = {}
+        # Lazy min-heap of (count, address); stale entries are skipped.
+        self._heap: List[Tuple[int, int]] = []
+        self.items_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, address: int) -> bool:
+        return int(address) in self._counts
+
+    def _pop_min(self) -> Tuple[int, int]:
+        """Pop the current true-minimum entry, skipping stale heap items."""
+        while self._heap:
+            count, addr = heapq.heappop(self._heap)
+            if self._counts.get(addr) == count:
+                del self._counts[addr]
+                return count, addr
+        raise RuntimeError("space-saving heap out of sync")
+
+    def update_one(self, address: int, weight: int = 1) -> int:
+        """Process one access (or ``weight`` repeats); returns estimate."""
+        address = int(address)
+        self.items_seen += int(weight)
+        if address in self._counts:
+            new = self._counts[address] + weight
+        elif len(self._counts) < self.capacity:
+            new = int(weight)
+        else:
+            # Replace the minimum entry, inheriting its count (the
+            # Space-Saving overestimate guarantee).
+            min_count, _ = self._pop_min()
+            new = min_count + int(weight)
+        self._counts[address] = new
+        heapq.heappush(self._heap, (new, address))
+        return new
+
+    def update_batch(self, keys: np.ndarray, weights: np.ndarray = None) -> None:
+        """Weighted bulk update (run-length compressed chunk).
+
+        Equivalent to replaying each unique key ``weight`` times
+        consecutively, which is the standard weighted Space-Saving
+        extension.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        if weights is None:
+            weights = np.ones(keys.size, dtype=np.int64)
+        for key, w in zip(keys.tolist(), np.asarray(weights).tolist()):
+            self.update_one(int(key), int(w))
+
+    def estimate_one(self, address: int) -> int:
+        return self._counts.get(int(address), 0)
+
+    def top_k(self, k: int) -> List[Tuple[int, int]]:
+        """Top-``k`` (address, count) pairs, hottest first."""
+        items = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return items[: int(k)]
+
+    def addresses(self) -> List[int]:
+        return [addr for addr, _ in sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )]
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._heap.clear()
+        self.items_seen = 0
+
+
+class MisraGries(SpaceSaving):
+    """Misra–Gries (frequent) summary: the decrement-on-miss variant.
+
+    Mithril-family Row-Hammer trackers build on this scheme: a miss
+    with a full table decrements *every* counter instead of replacing
+    the minimum, evicting entries that reach zero.  Underestimates
+    instead of overestimates; included as a design-space point.
+    """
+
+    def update_one(self, address: int, weight: int = 1) -> int:
+        address = int(address)
+        self.items_seen += int(weight)
+        remaining = int(weight)
+        while remaining > 0:
+            if address in self._counts:
+                self._counts[address] += remaining
+                heapq.heappush(self._heap, (self._counts[address], address))
+                return self._counts[address]
+            if len(self._counts) < self.capacity:
+                self._counts[address] = remaining
+                heapq.heappush(self._heap, (remaining, address))
+                return remaining
+            # Decrement all counters by the smallest count so at least
+            # one entry frees up; charge that against our weight.
+            min_count = min(self._counts.values())
+            step = min(min_count, remaining)
+            self._counts = {
+                a: c - step for a, c in self._counts.items() if c - step > 0
+            }
+            self._heap = [(c, a) for a, c in self._counts.items()]
+            heapq.heapify(self._heap)
+            remaining -= step
+        return self._counts.get(address, 0)

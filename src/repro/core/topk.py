@@ -1,0 +1,90 @@
+"""Sorted-CAM model: the top-K stage of the M5 trackers.
+
+The sorted CAM (paper §5.1, Figure 5 ④–⑥) holds K (address, count)
+pairs ordered by count.  For each observed address with an estimated
+count from the CM-Sketch unit:
+
+* **hit** — the matching entry's count is overwritten with the
+  estimate;
+* **miss** — the estimate is compared against the table minimum and,
+  if larger, the minimum entry is replaced.
+
+The software model keeps a dict for O(1) hits and pays an O(K) scan
+for the minimum on misses (the hardware does this with a comparator
+chain in one cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class SortedCam:
+    """K-entry content-addressable top-K table."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = int(k)
+        self._entries: Dict[int, int] = {}
+        self.hits = 0
+        self.replacements = 0
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: int) -> bool:
+        return int(address) in self._entries
+
+    def count_of(self, address: int) -> int:
+        return self._entries.get(int(address), 0)
+
+    @property
+    def table_min(self) -> int:
+        """Smallest tracked count (0 when the table has free entries)."""
+        if len(self._entries) < self.k:
+            return 0
+        return min(self._entries.values())
+
+    def offer(self, address: int, estimate: int) -> bool:
+        """Present one (address, estimated count) pair to the CAM.
+
+        Returns True if the address is tracked after the update.
+        """
+        address = int(address)
+        estimate = int(estimate)
+        if address in self._entries:
+            # Hit: update the count field with the sketch estimate.
+            self._entries[address] = estimate
+            self.hits += 1
+            return True
+        if len(self._entries) < self.k:
+            self._entries[address] = estimate
+            self.replacements += 1
+            return True
+        # Miss with full table: compare against the minimum entry.
+        min_addr = min(self._entries, key=self._entries.__getitem__)
+        if estimate > self._entries[min_addr]:
+            del self._entries[min_addr]
+            self._entries[address] = estimate
+            self.replacements += 1
+            return True
+        self.rejections += 1
+        return False
+
+    def entries(self) -> List[Tuple[int, int]]:
+        """Tracked (address, count) pairs, hottest first.
+
+        Ties are broken by address for deterministic output; this is
+        the answer to an M5-manager query.
+        """
+        return sorted(self._entries.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def addresses(self) -> List[int]:
+        """Tracked addresses, hottest first."""
+        return [addr for addr, _ in self.entries()]
+
+    def reset(self) -> None:
+        """Clear the table (done together with the sketch after a query)."""
+        self._entries.clear()

@@ -1,0 +1,25 @@
+"""CXL device model: controller request path, MMIO interface, and the
+PAC/WAC profiling counters of paper §3."""
+
+from repro.cxl.controller import CxlController, CXL_EXTRA_LATENCY_NS
+from repro.cxl.mmio import (
+    COUNTER_WINDOW_BYTES,
+    MMIO_REGION_BYTES,
+    CounterWindow,
+    MmioError,
+    RegisterFile,
+)
+from repro.cxl.pac import PageAccessCounter
+from repro.cxl.wac import WordAccessCounter
+
+__all__ = [
+    "CxlController",
+    "CXL_EXTRA_LATENCY_NS",
+    "COUNTER_WINDOW_BYTES",
+    "MMIO_REGION_BYTES",
+    "CounterWindow",
+    "MmioError",
+    "RegisterFile",
+    "PageAccessCounter",
+    "WordAccessCounter",
+]

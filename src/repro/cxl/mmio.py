@@ -1,0 +1,132 @@
+"""MMIO window model for the PAC/WAC software interface.
+
+The paper (§3, "Software") maps the counter SRAM and the
+configuration/control registers of PAC and WAC into a 2MB MMIO region:
+1MB is a movable window over the (up to 4MB) SRAM unit and 1MB holds
+configuration and control registers.  Because the window is smaller
+than the SRAM, software sets a *base-address* configuration register
+and then reads ``base + offset``; sweeping the base register pages
+through the whole SRAM.
+
+This module reproduces those access semantics (window bounds, the
+base register, register files) so the profiling software stack built
+on top exercises the same interface contract as the paper's driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Size of the full MMIO region (2MB, the platform limit cited in §3).
+MMIO_REGION_BYTES = 2 * 1024 * 1024
+#: Size of the movable counter window (1MB).
+COUNTER_WINDOW_BYTES = 1 * 1024 * 1024
+#: Size of the configuration/control register file (1MB).
+REGISTER_FILE_BYTES = MMIO_REGION_BYTES - COUNTER_WINDOW_BYTES
+
+
+class MmioError(Exception):
+    """Raised on out-of-window or misaligned MMIO accesses."""
+
+
+class RegisterFile:
+    """Named 64-bit configuration/control registers.
+
+    Registers are allocated by name at fixed offsets in declaration
+    order, mirroring how the RTL exposes them at fixed MMIO offsets.
+    """
+
+    def __init__(self, names):
+        self._offsets: Dict[str, int] = {}
+        self._values: Dict[str, int] = {}
+        for i, name in enumerate(names):
+            offset = i * 8
+            if offset >= REGISTER_FILE_BYTES:
+                raise MmioError("register file overflow")
+            self._offsets[name] = offset
+            self._values[name] = 0
+
+    def offset_of(self, name: str) -> int:
+        return self._offsets[name]
+
+    def write(self, name: str, value: int) -> None:
+        if name not in self._values:
+            raise MmioError(f"unknown register {name!r}")
+        self._values[name] = int(value) & 0xFFFF_FFFF_FFFF_FFFF
+
+    def read(self, name: str) -> int:
+        if name not in self._values:
+            raise MmioError(f"unknown register {name!r}")
+        return self._values[name]
+
+    def names(self):
+        return tuple(self._offsets)
+
+
+class CounterWindow:
+    """The 1MB movable window over a counter SRAM.
+
+    The SRAM is presented as an array of fixed-width counters.  The
+    window exposes ``COUNTER_WINDOW_BYTES`` of it starting at the byte
+    offset held in the ``base`` register (must be window-aligned,
+    as the hardware adds ``base + offset`` without carry logic).
+    """
+
+    def __init__(self, sram: np.ndarray):
+        if sram.ndim != 1:
+            raise MmioError("counter SRAM must be one-dimensional")
+        self._sram = sram
+        self._base = 0
+
+    @property
+    def sram_bytes(self) -> int:
+        return int(self._sram.nbytes)
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    def set_base(self, base: int) -> None:
+        if base % COUNTER_WINDOW_BYTES != 0:
+            raise MmioError("window base must be 1MB aligned")
+        if not 0 <= base < max(self.sram_bytes, COUNTER_WINDOW_BYTES):
+            raise MmioError(f"window base {base:#x} beyond SRAM")
+        self._base = int(base)
+
+    def _bounds_check(self, offset: int, nbytes: int) -> int:
+        if offset < 0 or offset + nbytes > COUNTER_WINDOW_BYTES:
+            raise MmioError(f"offset {offset:#x} outside 1MB window")
+        absolute = self._base + offset
+        if absolute + nbytes > self.sram_bytes:
+            raise MmioError(f"window access {absolute:#x} beyond SRAM")
+        return absolute
+
+    def read_counters(self, offset: int, count: int) -> np.ndarray:
+        """Read ``count`` counters starting at byte ``offset`` in the window."""
+        itemsize = self._sram.itemsize
+        absolute = self._bounds_check(offset, count * itemsize)
+        start = absolute // itemsize
+        return self._sram[start : start + count].copy()
+
+    def read_all(self) -> np.ndarray:
+        """Sweep the base register to read the entire SRAM (driver helper).
+
+        This is exactly the loop the paper's PAC software performs:
+        for each 1MB-aligned base, set the base register, then read the
+        window contents.
+        """
+        saved = self._base
+        chunks = []
+        itemsize = self._sram.itemsize
+        counters_per_window = COUNTER_WINDOW_BYTES // itemsize
+        total = len(self._sram)
+        base = 0
+        while base * itemsize < self.sram_bytes:
+            self.set_base(base * itemsize)
+            take = min(counters_per_window, total - base)
+            chunks.append(self.read_counters(0, take))
+            base += counters_per_window
+        self._base = saved
+        return np.concatenate(chunks) if chunks else self._sram[:0].copy()

@@ -1,0 +1,38 @@
+"""Tiered-memory substrate: addresses, nodes, page table, TLB, MGLRU,
+and the page-migration engine."""
+
+from repro.memory.address import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    WORD_SHIFT,
+    WORD_SIZE,
+    WORDS_PER_PAGE,
+    AddressRegion,
+)
+from repro.memory.tiers import MemoryNode, NodeKind, TieredMemory
+from repro.memory.page_table import PageTable
+from repro.memory.tlb import Tlb, TlbShootdownModel
+from repro.memory.mglru import MultiGenLru
+from repro.memory.migration import MigrationEngine, MigrationCostModel, PinReason
+from repro.memory.ifmm import FlatMemoryMode, IfmmStats
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "WORD_SHIFT",
+    "WORD_SIZE",
+    "WORDS_PER_PAGE",
+    "AddressRegion",
+    "MemoryNode",
+    "NodeKind",
+    "TieredMemory",
+    "PageTable",
+    "Tlb",
+    "TlbShootdownModel",
+    "MultiGenLru",
+    "MigrationEngine",
+    "MigrationCostModel",
+    "PinReason",
+    "FlatMemoryMode",
+    "IfmmStats",
+]

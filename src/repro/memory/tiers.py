@@ -1,0 +1,278 @@
+"""Tiered-memory model: a fast DDR node plus a slow CXL node.
+
+The model keeps the paper's NUMA framing: CXL device memory is exposed
+as a CPU-less remote NUMA node, and the application's pages live on
+exactly one node at a time.  Logical (application) pages are mapped to
+physical frames inside each node's physical-address region, so the
+CXL controller's profilers see real physical addresses and the
+migration engine can rebind pages between nodes.
+
+The node-level statistics published here (``nr_pages``, ``bw``,
+``bw_den``) are precisely the Monitor functions of Table 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.memory.address import PAGE_SHIFT, PAGE_SIZE, AddressRegion
+
+
+class NodeKind(enum.Enum):
+    """Which tier a memory node belongs to."""
+
+    DDR = "ddr"
+    CXL = "cxl"
+
+
+#: Default physical layout: DDR at 0, CXL device memory high in the PA
+#: space, mirroring how BIOS maps HDM ranges above local DRAM.
+DDR_BASE = 0x0000_0000_0000
+CXL_BASE = 0x2000_0000_0000 >> 1  # 16TB mark, well clear of DDR
+
+#: Load-to-use latencies used throughout the paper's arithmetic
+#: (§7.2 break-even: 54us / (270ns - 100ns) ≈ 318 accesses).
+DDR_LATENCY_NS = 100.0
+CXL_LATENCY_NS = 270.0
+
+
+class MemoryNode:
+    """One memory node (tier) with a frame allocator and counters."""
+
+    def __init__(
+        self,
+        kind: NodeKind,
+        capacity_pages: int,
+        base_pa: int,
+        latency_ns: float,
+    ):
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        self.kind = kind
+        self.capacity_pages = int(capacity_pages)
+        self.region = AddressRegion(base_pa, capacity_pages * PAGE_SIZE)
+        self.latency_ns = float(latency_ns)
+        # LIFO free list of frame numbers relative to the region.
+        self._free = list(range(capacity_pages - 1, -1, -1))
+        self.accesses_this_epoch = 0
+        self.accesses_total = 0
+
+    @property
+    def first_frame(self) -> int:
+        return self.region.first_page
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return self.capacity_pages - len(self._free)
+
+    def allocate_frame(self) -> int:
+        """Allocate one frame; returns the absolute PFN."""
+        if not self._free:
+            raise MemoryError(f"{self.kind.value} node out of frames")
+        return self.first_frame + self._free.pop()
+
+    def free_frame(self, pfn: int) -> None:
+        rel = int(pfn) - self.first_frame
+        if not 0 <= rel < self.capacity_pages:
+            raise ValueError(f"PFN {pfn:#x} not in {self.kind.value} node")
+        self._free.append(rel)
+
+    def record_accesses(self, n: int) -> None:
+        self.accesses_this_epoch += int(n)
+        self.accesses_total += int(n)
+
+    def begin_epoch(self) -> None:
+        self.accesses_this_epoch = 0
+
+
+class TieredMemory:
+    """DDR + CXL tiered memory with logical-page → frame mapping.
+
+    Args:
+        ddr_pages: capacity of the fast tier in pages (the paper caps
+            this at ~half the footprint, e.g. 3GB DDR for ~6GB apps).
+        cxl_pages: capacity of the slow tier in pages.
+        num_logical_pages: the application's footprint in pages.
+    """
+
+    def __init__(
+        self,
+        ddr_pages: int,
+        cxl_pages: int,
+        num_logical_pages: int,
+        ddr_latency_ns: float = DDR_LATENCY_NS,
+        cxl_latency_ns: float = CXL_LATENCY_NS,
+    ):
+        if num_logical_pages <= 0:
+            raise ValueError("num_logical_pages must be positive")
+        if num_logical_pages > ddr_pages + cxl_pages:
+            raise ValueError("footprint exceeds total memory capacity")
+        self.ddr = MemoryNode(NodeKind.DDR, ddr_pages, DDR_BASE, ddr_latency_ns)
+        self.cxl = MemoryNode(NodeKind.CXL, cxl_pages, CXL_BASE, cxl_latency_ns)
+        self.num_logical_pages = int(num_logical_pages)
+
+        # page → absolute PFN and page → node kind (vectorised maps).
+        self._frame_of = np.full(num_logical_pages, -1, dtype=np.int64)
+        self._node_of = np.full(num_logical_pages, -1, dtype=np.int8)
+        self._NODE_CODE = {NodeKind.DDR: 0, NodeKind.CXL: 1}
+        # epoch time bookkeeping for bandwidth computation
+        self.epoch_seconds: float = 1.0
+
+    # ------------------------------------------------------------------
+    # allocation / placement
+
+    def node(self, kind: NodeKind) -> MemoryNode:
+        return self.ddr if kind is NodeKind.DDR else self.cxl
+
+    def allocate_all(self, kind: NodeKind = NodeKind.CXL) -> None:
+        """Allocate every logical page on one node.
+
+        The paper's methodology (§4.1 S2 and §7.2) starts every run
+        with all application pages cgroup-bound to CXL DRAM.
+        """
+        node = self.node(kind)
+        for lpage in range(self.num_logical_pages):
+            if self._frame_of[lpage] >= 0:
+                raise RuntimeError("pages already allocated")
+            self._frame_of[lpage] = node.allocate_frame()
+            self._node_of[lpage] = self._NODE_CODE[kind]
+
+    def allocate_interleaved(self, ddr_fraction: float) -> None:
+        """Allocate pages randomly split between nodes (for the §5.2
+        bandwidth-proportionality experiment)."""
+        if not 0.0 <= ddr_fraction <= 1.0:
+            raise ValueError("ddr_fraction must be in [0, 1]")
+        rng = np.random.default_rng(0)
+        to_ddr = rng.random(self.num_logical_pages) < ddr_fraction
+        for lpage in range(self.num_logical_pages):
+            kind = NodeKind.DDR if to_ddr[lpage] else NodeKind.CXL
+            node = self.node(kind)
+            if node.free_pages == 0:
+                kind = NodeKind.CXL if kind is NodeKind.DDR else NodeKind.DDR
+                node = self.node(kind)
+            self._frame_of[lpage] = node.allocate_frame()
+            self._node_of[lpage] = self._NODE_CODE[kind]
+
+    def node_of_page(self, lpage: int) -> NodeKind:
+        code = self._node_of[lpage]
+        if code < 0:
+            raise KeyError(f"logical page {lpage} not allocated")
+        return NodeKind.DDR if code == 0 else NodeKind.CXL
+
+    def frame_of_page(self, lpage: int) -> int:
+        pfn = self._frame_of[lpage]
+        if pfn < 0:
+            raise KeyError(f"logical page {lpage} not allocated")
+        return int(pfn)
+
+    @property
+    def frame_map(self) -> np.ndarray:
+        """Read-only view of the logical-page → PFN map."""
+        return self._frame_of
+
+    @property
+    def node_map(self) -> np.ndarray:
+        """Read-only view of page→node codes (0=DDR, 1=CXL, -1=free)."""
+        return self._node_of
+
+    def pages_on(self, kind: NodeKind) -> np.ndarray:
+        """Logical page ids currently resident on ``kind``."""
+        return np.nonzero(self._node_of == self._NODE_CODE[kind])[0]
+
+    def logical_page_of_pfn(self, pfn: int) -> Optional[int]:
+        """Reverse-map an absolute PFN to its logical page (or None)."""
+        hits = np.nonzero(self._frame_of == int(pfn))[0]
+        return int(hits[0]) if hits.size else None
+
+    def logical_pages_of_pfns(self, pfns) -> np.ndarray:
+        """Vectorised reverse map; unknown PFNs yield -1."""
+        pfns = np.asarray(pfns, dtype=np.int64)
+        order = np.argsort(self._frame_of)
+        sorted_frames = self._frame_of[order]
+        idx = np.searchsorted(sorted_frames, pfns)
+        idx = np.clip(idx, 0, len(sorted_frames) - 1)
+        found = sorted_frames[idx] == pfns
+        out = np.full(pfns.shape, -1, dtype=np.int64)
+        out[found] = order[idx[found]]
+        return out
+
+    # ------------------------------------------------------------------
+    # migration primitive (cost accounting lives in MigrationEngine)
+
+    def move_page(self, lpage: int, to: NodeKind) -> int:
+        """Rebind a logical page to a frame on ``to``; returns new PFN."""
+        code = self._NODE_CODE[to]
+        if self._node_of[lpage] == code:
+            return int(self._frame_of[lpage])
+        src = self.node(self.node_of_page(lpage))
+        dst = self.node(to)
+        new_pfn = dst.allocate_frame()  # may raise MemoryError if full
+        src.free_frame(int(self._frame_of[lpage]))
+        self._frame_of[lpage] = new_pfn
+        self._node_of[lpage] = code
+        return new_pfn
+
+    # ------------------------------------------------------------------
+    # access path
+
+    def translate(self, logical_addresses: np.ndarray) -> np.ndarray:
+        """Translate logical byte addresses to physical byte addresses."""
+        la = np.asarray(logical_addresses, dtype=np.uint64)
+        lpages = (la >> np.uint64(PAGE_SHIFT)).astype(np.int64)
+        frames = self._frame_of[lpages]
+        if (frames < 0).any():
+            raise KeyError("access to unallocated logical page")
+        offset = la & np.uint64(PAGE_SIZE - 1)
+        return (frames.astype(np.uint64) << np.uint64(PAGE_SHIFT)) | offset
+
+    def record_epoch_accesses(self, logical_pages: np.ndarray) -> None:
+        """Account a batch of page-granular accesses to node counters."""
+        codes = self._node_of[np.asarray(logical_pages, dtype=np.int64)]
+        n_ddr = int((codes == 0).sum())
+        n_cxl = int((codes == 1).sum())
+        self.ddr.record_accesses(n_ddr)
+        self.cxl.record_accesses(n_cxl)
+
+    def begin_epoch(self, epoch_seconds: float = 1.0) -> None:
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        self.epoch_seconds = float(epoch_seconds)
+        self.ddr.begin_epoch()
+        self.cxl.begin_epoch()
+
+    # ------------------------------------------------------------------
+    # Monitor statistics (Table 1)
+
+    def nr_pages(self, kind: NodeKind) -> int:
+        """Table 1 ``nr_pages(node)``: pages allocated on the node."""
+        return int((self._node_of == self._NODE_CODE[kind]).sum())
+
+    def bw(self, kind: NodeKind) -> float:
+        """Table 1 ``bw(node)``: consumed read bandwidth, bytes/sec."""
+        node = self.node(kind)
+        return node.accesses_this_epoch * 64.0 / self.epoch_seconds
+
+    def bw_den(self, kind: NodeKind) -> float:
+        """Table 1 ``bw_den(node)``: bw per allocated capacity."""
+        pages = self.nr_pages(kind)
+        if pages == 0:
+            return 0.0
+        return self.bw(kind) / (pages * PAGE_SIZE)
+
+    def stats(self) -> Dict[str, float]:
+        """Convenience snapshot of all Monitor statistics."""
+        return {
+            "nr_pages_ddr": self.nr_pages(NodeKind.DDR),
+            "nr_pages_cxl": self.nr_pages(NodeKind.CXL),
+            "bw_ddr": self.bw(NodeKind.DDR),
+            "bw_cxl": self.bw(NodeKind.CXL),
+            "bw_den_ddr": self.bw_den(NodeKind.DDR),
+            "bw_den_cxl": self.bw_den(NodeKind.CXL),
+        }

@@ -1,0 +1,35 @@
+"""Simulation engine: configuration, performance model, and the
+per-run driver tying workloads, tiers, the CXL controller, and the
+page-migration policies together."""
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import (
+    ALL_POLICIES,
+    BASELINE_POLICIES,
+    M5_POLICIES,
+    M5Options,
+    RunResult,
+    Simulation,
+    access_count_ratio,
+    run_policy,
+)
+from repro.sim.perf import EpochPerf, PerformanceModel
+from repro.sim.sweep import matrix_means, normalized, run_matrix, run_one
+
+__all__ = [
+    "SimConfig",
+    "ALL_POLICIES",
+    "BASELINE_POLICIES",
+    "M5_POLICIES",
+    "M5Options",
+    "RunResult",
+    "Simulation",
+    "access_count_ratio",
+    "run_policy",
+    "EpochPerf",
+    "PerformanceModel",
+    "matrix_means",
+    "normalized",
+    "run_matrix",
+    "run_one",
+]

@@ -1,0 +1,100 @@
+"""Simulation configuration shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.tiers import CXL_LATENCY_NS, DDR_LATENCY_NS
+from repro.workloads.registry import (
+    PAGES_PER_GB,
+    cxl_capacity_pages,
+    ddr_capacity_pages,
+)
+
+
+@dataclass
+class SimConfig:
+    """Knobs of one simulated run.
+
+    Attributes:
+        total_accesses: DRAM accesses to simulate (the trace length).
+        chunk_size: accesses per epoch (the engine's time step).
+        ddr_pages / cxl_pages: tier capacities; defaults reproduce the
+            paper's 3GB-DDR-cap / 8GB-CXL setup at the registry's
+            scale factor.
+        ddr_latency_ns / cxl_latency_ns: load-to-use latencies (the
+            §7.2 pair: 100ns vs 270ns).
+        mlp: memory-level parallelism — outstanding-miss overlap
+            dividing the per-access stall.
+        ipc: core instructions per cycle for the compute component.
+        cpu_ghz: core frequency (paper: 2.1 GHz Xeon 6430).
+        migrate: False runs identification-only (the §4.1 S1 mode
+            where policies record hot pages but never migrate).
+        migration_batch: max pages migrated per epoch.
+        seed: RNG seed.
+        checkpoints: number of evenly spaced measurement points at
+            which access-count ratios are snapshotted (the paper
+            measures at 10 random execution points).
+    """
+
+    total_accesses: int = 2_000_000
+    chunk_size: int = 65_536
+    footprint_scale: float = 0.0  # 0 = derive from pages_per_gb
+    trace_subsample: float = 16.0
+    time_dilation: float = 0.0  # 0 = footprint_scale * trace_subsample
+    ddr_pages: int = field(default_factory=ddr_capacity_pages)
+    cxl_pages: int = field(default_factory=cxl_capacity_pages)
+    ddr_latency_ns: float = DDR_LATENCY_NS
+    cxl_latency_ns: float = CXL_LATENCY_NS
+    mlp: float = 4.0
+    ipc: float = 1.5
+    cpu_ghz: float = 2.1
+    #: Per-node bandwidth ceilings in GB/s (0 = unlimited, the default
+    #: latency-only model).  Table 2's DDR side is 4x DDR5-4800
+    #: (~153GB/s); a CXL x16 PCIe5 link is ~64GB/s.
+    ddr_bandwidth_gbps: float = 0.0
+    cxl_bandwidth_gbps: float = 0.0
+    migrate: bool = True
+    migration_batch: int = 512
+    migration_cost_us: float = 54.0
+    #: Fraction of migration work landing on the application's
+    #: critical path.  Migration runs in kernel threads that overlap
+    #: the benchmark's other instances; only TLB shootdowns, locks,
+    #: and the straggler instance's own faults serialise with it.
+    migration_overlap: float = 0.3
+    seed: int = 0
+    checkpoints: int = 10
+    pages_per_gb: int = PAGES_PER_GB
+
+    def __post_init__(self):
+        if self.total_accesses <= 0 or self.chunk_size <= 0:
+            raise ValueError("trace sizes must be positive")
+        if self.mlp <= 0 or self.ipc <= 0 or self.cpu_ghz <= 0:
+            raise ValueError("performance parameters must be positive")
+        if self.checkpoints < 1:
+            raise ValueError("need at least one checkpoint")
+        if self.time_dilation < 0 or self.footprint_scale < 0:
+            raise ValueError("scale factors must be non-negative")
+        if self.trace_subsample < 1:
+            raise ValueError("trace_subsample must be >= 1")
+        # Two scale-down factors relate the model to the real system:
+        #
+        # * footprint_scale — each model page groups this many real
+        #   4KB pages (real pages per GB = 262144 vs the registry's
+        #   scaled pages_per_gb), and carries their combined accesses;
+        # * trace_subsample — the model trace keeps 1 of this many
+        #   real accesses (systematic time sampling).
+        #
+        # time_dilation = footprint_scale * trace_subsample: each model
+        # access stands for that many real accesses, so dilating time
+        # by it preserves real wall-clock — every policy keeps its
+        # real-world cadence (ANB scan periods, DAMON intervals,
+        # Elector periods) and real per-event CPU costs.
+        if self.footprint_scale == 0:
+            self.footprint_scale = 262144 / self.pages_per_gb
+        if self.time_dilation == 0:
+            self.time_dilation = self.footprint_scale * self.trace_subsample
+
+    @property
+    def num_epochs(self) -> int:
+        return -(-self.total_accesses // self.chunk_size)

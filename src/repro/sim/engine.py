@@ -1,0 +1,386 @@
+"""The simulation engine: trace → tiers → CXL controller → policy.
+
+One :class:`Simulation` reproduces the paper's run methodology:
+
+1. all application pages are allocated on CXL DRAM (the §4.1/§7
+   cgroup binding);
+2. the workload's address stream is translated through the page map;
+   CXL-bound requests pass through the controller, where PAC (always),
+   WAC (optionally), and the M5 trackers (when M5 is the policy) snoop
+   every address;
+3. the active page-migration policy observes the epoch and may promote
+   pages; once DDR is full every promotion demotes an MGLRU victim;
+4. the performance model converts tier hit counts, policy CPU
+   overhead, and migration work into simulated time.
+
+``config.migrate = False`` selects the identification-only mode
+(§4.1 S1): policies build their hot-page lists but nothing moves, so
+PAC's counts score them cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    AutoNumaBalancing,
+    Damon,
+    MigrationPolicy,
+    NoMigration,
+    PebsSampler,
+    PteScanner,
+    Tpp,
+)
+from repro.core.manager import (
+    HPT_DRIVEN,
+    HPT_ONLY,
+    HWT_DRIVEN,
+    Elector,
+    M5Manager,
+    Nominator,
+    power_fscale,
+)
+from repro.core.trackers import make_hpt, make_hwt
+from repro.cxl.controller import CxlController
+from repro.cxl.pac import PageAccessCounter
+from repro.cxl.wac import WordAccessCounter
+from repro.memory.address import PAGE_SHIFT
+from repro.memory.migration import MigrationCostModel, MigrationEngine
+from repro.memory.mglru import MultiGenLru
+from repro.memory.tiers import NodeKind, TieredMemory
+from repro.sim.config import SimConfig
+from repro.sim.perf import PerformanceModel
+from repro.workloads.base import SyntheticWorkload
+
+#: Registry-visible policy names.
+BASELINE_POLICIES = ("none", "anb", "damon", "tpp", "pte-scan", "pebs")
+M5_POLICIES = ("m5-hpt", "m5-hwt", "m5-hpt+hwt")
+ALL_POLICIES = BASELINE_POLICIES + M5_POLICIES
+
+
+@dataclass
+class M5Options:
+    """Configuration of the M5 policy stack."""
+
+    algorithm: str = "cm-sketch"
+    num_counters: int = 32 * 1024
+    k_hpt: int = 64
+    k_hwt: int = 128
+    nominator_mode: str = HPT_ONLY
+    min_hot_words: int = 16
+    fscale_n: float = 4.0
+    f_default: float = 1.0
+    min_period_s: float = 1e-3
+    max_period_s: float = 2.0
+    #: Elector's improvement dead band; negative values make every
+    #: period migrate (maximally aggressive, churn included).
+    improvement_epsilon: float = 1e-2
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated run produced."""
+
+    benchmark: str
+    policy: str
+    execution_time_s: float
+    app_time_s: float
+    overhead_time_s: float
+    migration_time_s: float
+    p99_latency_us: Optional[float]
+    hot_pfns: List[int]
+    ratio_checkpoints: List[float]
+    promoted: int
+    demoted: int
+    nr_pages_ddr: int
+    nr_pages_cxl: int
+    overhead_events: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def access_count_ratio(self) -> Optional[float]:
+        """Mean of the checkpointed access-count ratios (§4.1 S5)."""
+        if not self.ratio_checkpoints:
+            return None
+        return float(np.mean(self.ratio_checkpoints))
+
+
+def access_count_ratio(
+    pac: PageAccessCounter, hot_pfns, k_cap: Optional[int] = None
+) -> float:
+    """The §4.1 metric: Σ counts(identified) / Σ counts(true top-K).
+
+    K equals the number of *distinct* identified pages (capped at
+    ``k_cap``, the paper's 128K ≈ footprint/16); re-identifications of
+    the same page across querying periods are collapsed, keeping first
+    identification order.
+    """
+    pfns = np.asarray(list(hot_pfns), dtype=np.int64)
+    if pfns.size:
+        _, first = np.unique(pfns, return_index=True)
+        pfns = pfns[np.sort(first)]
+    if k_cap is not None and pfns.size > k_cap:
+        pfns = pfns[:k_cap]
+    if pfns.size == 0:
+        return 0.0
+    k_access = int(pac.counts_of_pages(pfns).sum())
+    top = pac.top_k_access_count(int(pfns.size))
+    return k_access / top if top > 0 else 0.0
+
+
+class Simulation:
+    """One benchmark run under one page-migration policy.
+
+    Args:
+        workload: trace generator (typically from the registry).
+        config: simulation parameters.
+        policy: one of :data:`ALL_POLICIES`.
+        m5_options: M5 stack configuration (M5 policies only).
+        enable_wac: attach a WAC to the controller (needed for the
+            sparsity experiments; off by default for speed).
+    """
+
+    def __init__(
+        self,
+        workload: SyntheticWorkload,
+        config: Optional[SimConfig] = None,
+        policy: str = "none",
+        m5_options: Optional[M5Options] = None,
+        enable_wac: bool = False,
+    ):
+        self.workload = workload
+        self.config = config if config is not None else SimConfig()
+        if policy not in ALL_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")
+        self.policy_name = policy
+        self.m5_options = m5_options if m5_options is not None else M5Options()
+
+        spec = workload.spec
+        self.memory = TieredMemory(
+            ddr_pages=self.config.ddr_pages,
+            cxl_pages=max(self.config.cxl_pages, spec.footprint_pages),
+            num_logical_pages=spec.footprint_pages,
+            ddr_latency_ns=self.config.ddr_latency_ns,
+            cxl_latency_ns=self.config.cxl_latency_ns,
+        )
+        self.memory.allocate_all(NodeKind.CXL)
+        self.mglru = MultiGenLru(spec.footprint_pages)
+        self.engine = MigrationEngine(
+            self.memory,
+            cost_model=MigrationCostModel(self.config.migration_cost_us),
+            mglru=self.mglru,
+        )
+        self.controller = CxlController(
+            self.memory.cxl.region, access_latency_ns=self.config.cxl_latency_ns
+        )
+        self.pac = PageAccessCounter(self.memory.cxl.region)
+        self.controller.attach(self.pac)
+        self.wac: Optional[WordAccessCounter] = None
+        if enable_wac:
+            self.wac = WordAccessCounter(self.memory.cxl.region)
+            self.controller.attach(self.wac)
+
+        self._baseline: Optional[MigrationPolicy] = None
+        self._manager: Optional[M5Manager] = None
+        if policy in BASELINE_POLICIES:
+            self._baseline = self._make_baseline(policy)
+        else:
+            self._manager = self._make_m5(policy)
+        self.perf = PerformanceModel(self.config, spec)
+        self.result: Optional[RunResult] = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    def _make_baseline(self, name: str) -> MigrationPolicy:
+        cfg = self.config
+        if name == "none":
+            return NoMigration(self.memory)
+        if name == "anb":
+            policy = AutoNumaBalancing(self.memory)
+            # Unmap/fault volume scales with the page grouping: one
+            # model-page fault stands for footprint_scale real faults.
+            policy.costs.scale = cfg.footprint_scale
+            return policy
+        if name == "damon":
+            # DAMON's sampling rate is footprint-independent, so its
+            # costs stay unscaled.  Its statistical access-bit check
+            # needs the real per-page rate: a model count undercounts
+            # real accesses by the trace_subsample factor (the page
+            # grouping cancels between count and group size).
+            return Damon(self.memory, access_scale=cfg.trace_subsample)
+        if name == "tpp":
+            policy = Tpp(self.memory)
+            policy.costs.scale = cfg.footprint_scale  # fault volume
+            return policy
+        if name == "pte-scan":
+            policy = PteScanner(self.memory)
+            policy.costs.scale = cfg.footprint_scale  # scans every PTE
+            return policy
+        if name == "pebs":
+            policy = PebsSampler(self.memory)
+            policy.costs.scale = cfg.time_dilation  # samples ∝ accesses
+            return policy
+        raise ValueError(name)
+
+    def _make_m5(self, name: str) -> M5Manager:
+        opts = self.m5_options
+        hpt = make_hpt(
+            k=opts.k_hpt, algorithm=opts.algorithm, num_counters=opts.num_counters
+        )
+        self.controller.attach(hpt)
+        hwt = None
+        mode = {
+            "m5-hpt": HPT_ONLY,
+            "m5-hwt": HWT_DRIVEN,
+            "m5-hpt+hwt": HPT_DRIVEN,
+        }[name]
+        if opts.nominator_mode != HPT_ONLY and name == "m5-hpt":
+            mode = opts.nominator_mode
+        if mode != HPT_ONLY:
+            hwt = make_hwt(
+                k=opts.k_hwt, algorithm=opts.algorithm, num_counters=opts.num_counters
+            )
+            self.controller.attach(hwt)
+        nominator = Nominator(mode=mode, min_hot_words=opts.min_hot_words)
+        elector = Elector(
+            f_default=opts.f_default,
+            fscale=power_fscale(opts.fscale_n),
+            min_period_s=opts.min_period_s,
+            max_period_s=opts.max_period_s,
+            improvement_epsilon=opts.improvement_epsilon,
+        )
+        return M5Manager(
+            self.memory,
+            self.engine,
+            hpt=hpt,
+            hwt=hwt,
+            nominator=nominator,
+            elector=elector,
+            batch_limit=self.config.migration_batch,
+            dry_run=not self.config.migrate,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hot_pfns(self) -> List[int]:
+        if self._manager is not None:
+            return list(self._manager.nominated_history)
+        return list(self._baseline.hot_pfns)
+
+    def _k_cap(self) -> int:
+        """The paper's K cap: ~1/16 of the footprint (§4.1)."""
+        return max(1, self.workload.spec.footprint_pages // 16)
+
+    def run(self) -> RunResult:
+        cfg = self.config
+        spec = self.workload.spec
+        now_s = 0.0
+        remaining = cfg.total_accesses
+        checkpoint_epochs = set(
+            np.linspace(1, cfg.num_epochs, cfg.checkpoints, dtype=int).tolist()
+        )
+        ratios: List[float] = []
+        epoch = 0
+        migration_us_prev = 0.0
+        # Nominal epoch duration estimate for the first epoch; later
+        # epochs use the previous epoch's measured duration.
+        epoch_s_estimate = (
+            cfg.chunk_size
+            * (self.perf.compute_per_access_s + self.perf.cxl_stall_s)
+            * self.perf.dilation
+            / self.perf.cores
+        )
+        while remaining > 0:
+            epoch += 1
+            take = min(remaining, cfg.chunk_size)
+            remaining -= take
+            chunk = self.workload.chunk(take)
+            lpages = (chunk >> np.uint64(PAGE_SHIFT)).astype(np.int64)
+
+            self.memory.begin_epoch(1.0)
+            self.memory.record_epoch_accesses(lpages)
+            pa = self.memory.translate(chunk)
+            self.controller.serve(pa)
+            self.mglru.record_accesses(lpages)
+
+            overhead_us = 0.0
+            if self._baseline is not None:
+                self._baseline.on_epoch(lpages, now_s, epoch_s_estimate)
+                overhead_us = self._baseline.epoch_overhead_us
+                if cfg.migrate and self.policy_name != "none":
+                    candidates = self._baseline.migration_candidates(
+                        cfg.migration_batch
+                    )
+                    if candidates.size:
+                        self.engine.promote(candidates)
+                    if isinstance(self._baseline, Tpp):
+                        # TPP demotes proactively to keep free headroom.
+                        need = self._baseline.demotion_candidates()
+                        if need > 0:
+                            ddr_pages = self.memory.pages_on(NodeKind.DDR)
+                            victims = self.mglru.coldest(need, among=ddr_pages)
+                            if victims.size:
+                                self.engine.demote(victims)
+            else:
+                step = self._manager.step(now_s)
+                overhead_us = step.overhead_us
+            self.mglru.age()
+
+            migration_us = self.engine.stats.time_us - migration_us_prev
+            migration_us_prev = self.engine.stats.time_us
+            n_ddr = self.memory.ddr.accesses_this_epoch
+            n_cxl = self.memory.cxl.accesses_this_epoch
+            perf = self.perf.record_epoch(n_ddr, n_cxl, overhead_us, migration_us)
+            now_s += perf.total_s
+            epoch_s_estimate = perf.total_s
+
+            if epoch in checkpoint_epochs and not cfg.migrate:
+                ratios.append(
+                    access_count_ratio(self.pac, self.hot_pfns, self._k_cap())
+                )
+
+        events: Dict[str, float] = {}
+        if self._baseline is not None:
+            events = dict(self._baseline.costs.events)
+        self.result = RunResult(
+            benchmark=spec.name,
+            policy=self.policy_name,
+            execution_time_s=self.perf.execution_time_s,
+            app_time_s=self.perf.app_time_s,
+            overhead_time_s=self.perf.overhead_time_s,
+            migration_time_s=self.perf.migration_time_s,
+            p99_latency_us=(
+                self.perf.p99_latency_us() if spec.latency_sensitive else None
+            ),
+            hot_pfns=self.hot_pfns,
+            ratio_checkpoints=ratios,
+            promoted=self.engine.stats.promoted,
+            demoted=self.engine.stats.demoted,
+            nr_pages_ddr=self.memory.nr_pages(NodeKind.DDR),
+            nr_pages_cxl=self.memory.nr_pages(NodeKind.CXL),
+            overhead_events=events,
+        )
+        return self.result
+
+
+def run_policy(
+    workload: SyntheticWorkload,
+    policy: str,
+    config: Optional[SimConfig] = None,
+    m5_options: Optional[M5Options] = None,
+    enable_wac: bool = False,
+) -> RunResult:
+    """Convenience one-shot runner."""
+    sim = Simulation(
+        workload,
+        config=config,
+        policy=policy,
+        m5_options=m5_options,
+        enable_wac=enable_wac,
+    )
+    return sim.run()

@@ -1,0 +1,200 @@
+"""Performance model: execution time and tail latency.
+
+Execution time of a memory-intensive epoch decomposes into
+
+* **compute** — instructions between LLC misses, from the workload's
+  MPKI and the core's IPC/frequency;
+* **memory stalls** — per-access load-to-use latency of the serving
+  tier divided by the memory-level parallelism;
+* **policy overhead** — kernel CPU time spent identifying hot pages,
+  charged to the same core (the paper pins the migration processes
+  and the benchmark to shared cores, §6);
+* **migration time** — ~54 µs per moved page (§7.2).
+
+With the default parameters an all-CXL run is ≈2× slower than an
+all-DDR run, matching the paper's no-migration baseline (M5 ends up
+106% above no-migration, i.e. near the all-DDR bound, Figure 9).
+
+For latency-sensitive workloads (Redis), the model scores the 99th
+percentile request latency: the p99 request is one that arrives while
+the policy's periodic burst occupies the core, so its latency is the
+base request time plus a queueing penalty that grows with the
+policy's CPU utilisation share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.sim.config import SimConfig
+from repro.workloads.base import WorkloadSpec
+
+#: Tail-amplification factor: sustained interference utilisation maps
+#: into p99 inflation with roughly this gain (a request arriving
+#: during a policy/migration burst queues behind it).
+P99_GAIN = 6.0
+#: Memory accesses per Redis-style request (average over YCSB-A ops).
+ACCESSES_PER_REQUEST = 12
+
+
+@dataclass
+class EpochPerf:
+    """Per-epoch performance bookkeeping."""
+
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+    migration_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.memory_s + self.overhead_s + self.migration_s
+
+
+class PerformanceModel:
+    """Turns epoch access counts + overheads into time."""
+
+    def __init__(self, config: SimConfig, spec: WorkloadSpec):
+        self.config = config
+        self.spec = spec
+        cycles_per_instr = 1.0 / config.ipc
+        instrs_per_access = 1000.0 / max(spec.mpki, 1e-6)
+        self.compute_per_access_s = (
+            instrs_per_access * cycles_per_instr / (config.cpu_ghz * 1e9)
+        )
+        self.ddr_stall_s = config.ddr_latency_ns * 1e-9 / config.mlp
+        self.cxl_stall_s = config.cxl_latency_ns * 1e-9 / config.mlp
+        #: Each simulated access stands for `dilation` real ones (see
+        #: SimConfig), so application time scales by dilation; each
+        #: model page groups `footprint_scale` real pages, so moving
+        #: one costs that many real page migrations.  Policy overheads
+        #: arrive already scaled by each policy's cost model.
+        self.dilation = max(1.0, config.time_dilation)
+        self.page_scale = max(1.0, config.footprint_scale)
+        #: The paper runs one benchmark instance/thread per core (§6);
+        #: the trace is the aggregate stream, so wall-clock app time is
+        #: the per-core share.
+        self.cores = max(1, spec.cores)
+        self.epochs: List[EpochPerf] = []
+
+    def _node_memory_s(self, n: int, stall_s: float, bw_gbps: float) -> float:
+        """Wall-clock memory time for one node's epoch traffic.
+
+        Latency-bound time divides across cores (each core overlaps
+        its own misses); bandwidth-bound time does not — the channel
+        is shared.  The node is whichever bound is tighter.
+        """
+        latency_bound = n * stall_s * self.dilation / self.cores
+        if bw_gbps <= 0:
+            return latency_bound
+        bandwidth_bound = n * 64.0 * self.dilation / (bw_gbps * 1e9)
+        return max(latency_bound, bandwidth_bound)
+
+    def record_epoch(
+        self,
+        n_ddr: int,
+        n_cxl: int,
+        overhead_us: float,
+        migration_us: float,
+    ) -> EpochPerf:
+        n = n_ddr + n_cxl
+        scale = self.dilation / self.cores
+        perf = EpochPerf(
+            compute_s=n * scale * self.compute_per_access_s,
+            memory_s=(
+                self._node_memory_s(
+                    n_ddr, self.ddr_stall_s, self.config.ddr_bandwidth_gbps
+                )
+                + self._node_memory_s(
+                    n_cxl, self.cxl_stall_s, self.config.cxl_bandwidth_gbps
+                )
+            ),
+            overhead_s=overhead_us * 1e-6,
+            migration_s=migration_us
+            * 1e-6
+            * self.page_scale
+            * self.config.migration_overlap,
+        )
+        self.epochs.append(perf)
+        return perf
+
+    # ------------------------------------------------------------------
+    # aggregate metrics
+
+    @property
+    def execution_time_s(self) -> float:
+        return sum(e.total_s for e in self.epochs)
+
+    @property
+    def app_time_s(self) -> float:
+        """Time excluding policy/migration overhead."""
+        return sum(e.compute_s + e.memory_s for e in self.epochs)
+
+    @property
+    def overhead_time_s(self) -> float:
+        return sum(e.overhead_s for e in self.epochs)
+
+    @property
+    def migration_time_s(self) -> float:
+        return sum(e.migration_s for e in self.epochs)
+
+    def overhead_utilisation(self) -> float:
+        """Fraction of core time consumed by hot-page identification."""
+        total = self.execution_time_s
+        return self.overhead_time_s / total if total > 0 else 0.0
+
+    def interference_utilisation(self) -> float:
+        """Fraction of core time stolen from the application by policy
+        work *and* migration bursts — what a latency-sensitive
+        workload's tail actually sees."""
+        total = self.execution_time_s
+        if total <= 0:
+            return 0.0
+        return (self.overhead_time_s + self.migration_time_s) / total
+
+    def p99_latency_us(self) -> float:
+        """p99 request latency for latency-sensitive workloads.
+
+        Base request time from compute + memory per request; inflated
+        by the policy's utilisation share with tail amplification (a
+        request arriving during a policy burst queues behind it).
+        """
+        if not self.epochs:
+            return 0.0
+        # Score steady state: YCSB-style runs measure after a load/
+        # warmup phase, so the migration fill at the start of the run
+        # must not anchor the percentile.
+        steady = self.epochs[len(self.epochs) // 2 :]
+        per_access = np.array(
+            [
+                (e.compute_s + e.memory_s)
+                / max(1e-12, e.compute_s / self.compute_per_access_s)
+                for e in steady
+            ]
+        )
+        # Request base time per epoch; p99 epoch-level base captures
+        # phases with more CXL traffic.
+        base_us = np.quantile(per_access * ACCESSES_PER_REQUEST * 1e6, 0.99)
+        # Tail inflation follows *persistent* interference: a one-off
+        # fill phase touches too few requests to move the 99th
+        # percentile, while steady scanning or migration churn delays
+        # requests in (nearly) every window.  u_tail is the
+        # interference utilisation that at least 5% of epochs sustain.
+        per_epoch_u = np.array(
+            [
+                (e.overhead_s + e.migration_s) / e.total_s if e.total_s > 0 else 0.0
+                for e in steady
+            ]
+        )
+        u_tail = float(np.quantile(per_epoch_u, 0.95))
+        return float(base_us * (1.0 + P99_GAIN * u_tail))
+
+    def throughput_accesses_per_s(self) -> float:
+        total_accesses = sum(
+            e.compute_s / self.compute_per_access_s for e in self.epochs
+        )
+        t = self.execution_time_s
+        return total_accesses / t if t > 0 else 0.0

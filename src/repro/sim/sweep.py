@@ -1,0 +1,72 @@
+"""Experiment sweep utilities.
+
+Thin orchestration helpers shared by the benchmark harnesses, the CLI,
+and user scripts: run a benchmark × policy matrix, normalise against
+the no-migration baseline, and collect results keyed for export.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import M5Options, RunResult, Simulation
+from repro.workloads import registry
+
+
+def run_one(
+    bench: str,
+    policy: str,
+    config: SimConfig,
+    seed: int = 1,
+    m5_options: Optional[M5Options] = None,
+    pages_per_gb: Optional[int] = None,
+) -> RunResult:
+    """Build the benchmark fresh and run it under one policy."""
+    workload = registry.build(
+        bench, seed=seed, pages_per_gb=pages_per_gb or registry.PAGES_PER_GB
+    )
+    sim = Simulation(workload, config, policy=policy, m5_options=m5_options)
+    return sim.run()
+
+
+def normalized(base: RunResult, result: RunResult) -> float:
+    """Figure 9's score: inverse p99 for latency-sensitive workloads,
+    inverse execution time otherwise."""
+    if base.p99_latency_us is not None and result.p99_latency_us:
+        return base.p99_latency_us / result.p99_latency_us
+    return base.execution_time_s / result.execution_time_s
+
+
+def run_matrix(
+    benches: Iterable[str],
+    policies: Iterable[str],
+    config_factory: Callable[[], SimConfig],
+    seed: int = 1,
+    m5_options: Optional[M5Options] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run every (bench, policy) pair; returns normalised scores.
+
+    Each benchmark also runs the ``none`` baseline once; scores are
+    normalised to it.  Results: ``matrix[bench][policy] = score``.
+    """
+    matrix: Dict[str, Dict[str, float]] = {}
+    for bench in benches:
+        base = run_one(bench, "none", config_factory(), seed=seed)
+        row: Dict[str, float] = {}
+        for policy in policies:
+            result = run_one(bench, policy, config_factory(), seed=seed,
+                             m5_options=m5_options)
+            row[policy] = normalized(base, result)
+        matrix[bench] = row
+    return matrix
+
+
+def matrix_means(matrix: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Per-policy means over the benchmark axis."""
+    policies = sorted({p for row in matrix.values() for p in row})
+    return {
+        p: sum(row[p] for row in matrix.values() if p in row)
+        / sum(1 for row in matrix.values() if p in row)
+        for p in policies
+    }

@@ -1,0 +1,153 @@
+"""Benchmark registry: the paper's Table 3 plus the Figure 4 extras.
+
+Footprints are scaled down proportionally from the paper's GB figures
+(default: 1024 pages ≈ 4MB of model footprint per paper-GB) so whole
+experiments run in seconds while preserving every ratio that matters:
+footprint vs DDR capacity (the paper caps DDR at 3GB ≈ half the
+footprint), K vs footprint (~1/16), and the relative footprints across
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import SyntheticWorkload, WorkloadSpec
+from repro.workloads.graph import make_gap_workload
+from repro.workloads.kvstore import make_kv_workload
+from repro.workloads.ml import make_liblinear_workload
+from repro.workloads.spec_cpu import make_spec_workload
+
+#: Model pages per paper-GB (scale-down factor).
+PAGES_PER_GB = 1024
+
+#: The paper's DDR cgroup cap (3GB) and CXL device size (8GB), scaled.
+DDR_CAPACITY_GB = 3.0
+CXL_CAPACITY_GB = 8.0
+
+
+def ddr_capacity_pages(pages_per_gb: int = PAGES_PER_GB) -> int:
+    return int(DDR_CAPACITY_GB * pages_per_gb)
+
+
+def cxl_capacity_pages(pages_per_gb: int = PAGES_PER_GB) -> int:
+    return int(CXL_CAPACITY_GB * pages_per_gb)
+
+
+class _Entry:
+    def __init__(
+        self,
+        name: str,
+        gb: float,
+        factory: Callable[[WorkloadSpec, int], SyntheticWorkload],
+        description: str,
+        cores: int,
+        ways: int,
+        latency_sensitive: bool = False,
+        mpki: float = 20.0,
+    ):
+        self.name = name
+        self.gb = gb
+        self.factory = factory
+        self.description = description
+        self.cores = cores
+        self.ways = ways
+        self.latency_sensitive = latency_sensitive
+        self.mpki = mpki
+
+    def spec(self, pages_per_gb: int = PAGES_PER_GB) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=self.name,
+            footprint_pages=int(self.gb * pages_per_gb),
+            description=self.description,
+            cores=self.cores,
+            llc_ways=self.ways,
+            latency_sensitive=self.latency_sensitive,
+            paper_footprint_gb=self.gb,
+            mpki=self.mpki,
+        )
+
+    def build(self, seed: int = 0, pages_per_gb: int = PAGES_PER_GB) -> SyntheticWorkload:
+        return self.factory(self.spec(pages_per_gb), seed)
+
+
+def _gap(kernel):
+    return lambda spec, seed: make_gap_workload(kernel, spec, seed)
+
+
+def _spec_cpu(bench):
+    return lambda spec, seed: make_spec_workload(bench, spec, seed)
+
+
+def _kv(store):
+    return lambda spec, seed: make_kv_workload(store, spec, seed)
+
+
+_REGISTRY: Dict[str, _Entry] = {
+    e.name: e
+    for e in [
+        _Entry("liblinear", 6.0, lambda s, seed: make_liblinear_workload(s, seed),
+               "Linear classification (KDD 2012)", 20, 10, mpki=28.0),
+        _Entry("bc", 6.9, _gap("bc"), "Betweenness Centrality", 20, 10, mpki=30.0),
+        _Entry("bfs", 6.9, _gap("bfs"), "Breadth-First Search", 20, 10, mpki=32.0),
+        _Entry("cc", 6.9, _gap("cc"), "Connected Components", 20, 10, mpki=30.0),
+        _Entry("pr", 6.9, _gap("pr"), "PageRank", 20, 10, mpki=35.0),
+        _Entry("sssp", 6.9, _gap("sssp"), "Single-Source Shortest Paths", 20, 10,
+               mpki=30.0),
+        _Entry("tc", 5.0, _gap("tc"), "Triangle Counting", 20, 10, mpki=22.0),
+        _Entry("cactubssn", 6.3, _spec_cpu("cactubssn"),
+               "Einstein's equations simulation", 8, 4, mpki=18.0),
+        _Entry("fotonik3d", 6.8, _spec_cpu("fotonik3d"),
+               "Photonic waveguide simulation", 8, 4, mpki=25.0),
+        _Entry("mcf", 4.9, _spec_cpu("mcf"),
+               "Single-depot vehicle scheduling", 8, 4, mpki=40.0),
+        _Entry("roms", 6.7, _spec_cpu("roms"),
+               "Free-surface ocean model simulation", 8, 4, mpki=22.0),
+        _Entry("redis", 6.0, _kv("redis"), "In-memory KVS with YCSB-A", 1, 1,
+               latency_sensitive=True, mpki=15.0),
+        # Figure 4 extras (not in Table 3's performance runs):
+        _Entry("memcached", 6.0, _kv("memcached"), "In-memory cache (mcd)", 1, 1,
+               latency_sensitive=True, mpki=15.0),
+        _Entry("cachelib", 6.0, _kv("cachelib"), "Hybrid cache engine (c.-lib)", 1, 1,
+               latency_sensitive=True, mpki=15.0),
+    ]
+}
+
+#: The twelve Table 3 benchmarks (Figures 3, 8, 9, 10).
+MEMORY_INTENSIVE: List[str] = [
+    "liblinear", "bc", "bfs", "cc", "pr", "sssp", "tc",
+    "cactubssn", "fotonik3d", "mcf", "roms", "redis",
+]
+
+#: Figure 4's sparsity study adds Memcached and CacheLib.
+SPARSITY_SET: List[str] = MEMORY_INTENSIVE + ["memcached", "cachelib"]
+
+#: The six benchmarks traced for the §7.1 tracker design sweep (Fig 7).
+TRACKER_SWEEP_SET: List[str] = [
+    "cactubssn", "fotonik3d", "liblinear", "mcf", "pr", "roms",
+]
+
+#: Figure 11's scalability study benchmarks.
+SCALABILITY_SET: List[str] = ["mcf", "roms", "fotonik3d", "cactubssn"]
+
+
+def names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def spec_of(name: str, pages_per_gb: int = PAGES_PER_GB) -> WorkloadSpec:
+    return _entry(name).spec(pages_per_gb)
+
+
+def build(name: str, seed: int = 0, pages_per_gb: int = PAGES_PER_GB) -> SyntheticWorkload:
+    """Construct a calibrated generator for a registered benchmark."""
+    return _entry(name).build(seed=seed, pages_per_gb=pages_per_gb)
+
+
+def _entry(name: str) -> _Entry:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,118 @@
+"""Trace capture, storage, and replay.
+
+The paper's §7.1 methodology collects "traces of cache-filtered and
+time-stamped addresses to DRAM" with Intel Pin + Ramulator, then feeds
+them to the tracker simulator.  This module is that pipeline's
+equivalent: capture a generator's stream (optionally LLC-filtered),
+persist it as compressed ``.npz``, and replay it later as a
+:class:`~repro.workloads.base.TraceGenerator` — so expensive workload
+construction (e.g. preferential-attachment graphs) happens once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cache.cache import SetAssociativeCache
+from repro.workloads.base import DEFAULT_CHUNK, TraceGenerator, WorkloadSpec
+
+#: Format version stamped into every trace file.
+TRACE_FORMAT_VERSION = 1
+
+
+def capture(
+    generator: TraceGenerator,
+    total_accesses: int,
+    llc: Optional[SetAssociativeCache] = None,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> np.ndarray:
+    """Materialise a (optionally cache-filtered) trace.
+
+    Args:
+        generator: source workload.
+        total_accesses: accesses to draw *before* filtering; the
+            returned trace is shorter when an LLC filter absorbs hits.
+        llc: optional cache model; only its misses reach the trace,
+            mirroring the DRAM-side view the CXL controller sees.
+    """
+    parts = []
+    for chunk in generator.chunks(total_accesses, chunk_size):
+        if llc is not None:
+            chunk = llc.filter(chunk)
+        if chunk.size:
+            parts.append(chunk.astype(np.uint64))
+    if not parts:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(parts)
+
+
+def save_trace(
+    path: Union[str, Path],
+    trace: np.ndarray,
+    spec: WorkloadSpec,
+    metadata: Optional[dict] = None,
+) -> Path:
+    """Persist a trace with its workload spec as compressed .npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "version": TRACE_FORMAT_VERSION,
+        "spec": asdict(spec),
+        "metadata": metadata or {},
+    }
+    np.savez_compressed(
+        path,
+        addresses=np.asarray(trace, dtype=np.uint64),
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace(path: Union[str, Path]):
+    """Load a stored trace; returns (addresses, spec, metadata)."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')}"
+            )
+        spec = WorkloadSpec(**header["spec"])
+        return data["addresses"].copy(), spec, header["metadata"]
+
+
+class ReplayWorkload(TraceGenerator):
+    """A TraceGenerator that replays a stored address stream.
+
+    Requests beyond the stored length wrap around (the trace is
+    treated as one steady-state period), so replay runs can be longer
+    than the capture.
+    """
+
+    def __init__(self, trace: np.ndarray, spec: WorkloadSpec):
+        super().__init__(spec, seed=0)
+        trace = np.asarray(trace, dtype=np.uint64)
+        if trace.size == 0:
+            raise ValueError("cannot replay an empty trace")
+        self._trace = trace
+        self._pos = 0
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ReplayWorkload":
+        addresses, spec, _ = load_trace(path)
+        return cls(addresses, spec)
+
+    def restart(self) -> None:
+        self._pos = 0
+
+    def chunk(self, chunk_size: int = DEFAULT_CHUNK) -> np.ndarray:
+        n = self._trace.size
+        take = int(chunk_size)
+        idx = (self._pos + np.arange(take)) % n
+        self._pos = (self._pos + take) % n
+        return self._trace[idx]
+

@@ -1,0 +1,154 @@
+"""Word-level access structure: which 64B words of each page get used.
+
+Figure 4 of the paper measures, per benchmark, the probability that a
+4KB page has at most {4, 8, 16, 32, 48} unique 64B words accessed.
+This module turns such a profile into a per-page *active word set*:
+
+* each page draws an active-word **count** from a bucket distribution
+  matching the target CDF;
+* its active word **positions** are a deterministic pseudo-random
+  stride sequence keyed by the page id (no per-page storage);
+* accesses to the page pick among its active words (uniformly by
+  default), so WAC observes exactly the intended sparsity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.memory.address import WORD_SHIFT, WORDS_PER_PAGE
+
+#: Figure 4's threshold grid.
+SPARSITY_THRESHOLDS = (4, 8, 16, 32, 48)
+
+# Odd strides generate full 64-cycles mod 64; key by page hash.
+_STRIDES = np.array([1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31],
+                    dtype=np.int64)
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+class WordDensityProfile:
+    """Distribution of active-word counts per page.
+
+    Args:
+        cdf_targets: mapping threshold → P(active words ≤ threshold),
+            on the Figure 4 grid.  The residual mass above 48 words is
+            spread over counts 49..64.
+    """
+
+    def __init__(self, cdf_targets: Dict[int, float]):
+        thresholds = list(SPARSITY_THRESHOLDS)
+        cdf = [float(cdf_targets[t]) for t in thresholds]
+        if any(not 0.0 <= v <= 1.0 for v in cdf):
+            raise ValueError("CDF values must be in [0, 1]")
+        if any(b < a - 1e-12 for a, b in zip(cdf, cdf[1:])):
+            raise ValueError("CDF must be non-decreasing")
+        self.cdf_targets = {t: v for t, v in zip(thresholds, cdf)}
+        # Buckets: (1..4], (4..8], (8..16], (16..32], (32..48], (48..64]
+        edges = [0] + thresholds + [WORDS_PER_PAGE]
+        probs = np.diff([0.0] + cdf + [1.0])
+        if probs.min() < -1e-12:
+            raise ValueError("CDF produced a negative bucket mass")
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum()
+        self._bucket_lo = np.array(edges[:-1]) + 1
+        self._bucket_hi = np.array(edges[1:])
+        self._bucket_probs = probs
+
+    def sample_counts(self, num_pages: int, rng: np.random.Generator) -> np.ndarray:
+        """Active-word count per page, in [1, 64]."""
+        bucket = rng.choice(len(self._bucket_probs), size=num_pages,
+                            p=self._bucket_probs)
+        lo = self._bucket_lo[bucket]
+        hi = self._bucket_hi[bucket]
+        return (lo + (rng.random(num_pages) * (hi - lo + 1)).astype(np.int64)).clip(
+            1, WORDS_PER_PAGE
+        )
+
+    @classmethod
+    def dense(cls, residual: float = 0.05) -> "WordDensityProfile":
+        """Mostly-dense pages (SPEC-style, ≥75% of words accessed)."""
+        r = float(residual)
+        return cls({4: r * 0.1, 8: r * 0.2, 16: r * 0.4, 32: r * 0.7, 48: r})
+
+    @classmethod
+    def sparse_kv(cls, at_16: float = 0.86) -> "WordDensityProfile":
+        """Key-value-store style sparsity (Redis: 86% of pages have at
+        most 16 of 64 words accessed)."""
+        return cls(
+            {
+                4: at_16 * 0.55,
+                8: at_16 * 0.80,
+                16: at_16,
+                32: min(1.0, at_16 + (1 - at_16) * 0.55),
+                48: min(1.0, at_16 + (1 - at_16) * 0.80),
+            }
+        )
+
+
+class WordSelector:
+    """Maps (page, active_count) to concrete word indices, statelessly.
+
+    Page ``p`` with ``k`` active words uses word indices
+    ``(start(p) + i * stride(p)) mod 64`` for ``i in [0, k)`` — distinct
+    because the stride is odd.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = np.uint64(seed * 2 + 1)
+
+    def _page_hash(self, pages: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            return (pages.astype(np.uint64) * _HASH_MULT + self._seed) >> np.uint64(13)
+
+    def start_of(self, pages: np.ndarray) -> np.ndarray:
+        return (self._page_hash(pages) & np.uint64(WORDS_PER_PAGE - 1)).astype(np.int64)
+
+    def stride_of(self, pages: np.ndarray) -> np.ndarray:
+        idx = ((self._page_hash(pages) >> np.uint64(8)) & np.uint64(15)).astype(np.int64)
+        return _STRIDES[idx]
+
+    def active_words(self, page: int, count: int) -> np.ndarray:
+        """The page's active word-index set (for tests/inspection)."""
+        pages = np.array([page], dtype=np.int64)
+        start = self.start_of(pages)[0]
+        stride = self.stride_of(pages)[0]
+        i = np.arange(int(count), dtype=np.int64)
+        return (start + i * stride) % WORDS_PER_PAGE
+
+    def select(
+        self,
+        pages: np.ndarray,
+        counts_per_page: np.ndarray,
+        rng: np.random.Generator,
+        skew: float = 0.0,
+    ) -> np.ndarray:
+        """Pick one word index for each access.
+
+        Args:
+            pages: page id per access.
+            counts_per_page: active-word count array indexed by page id.
+            skew: 0 = uniform across active words; values in (0, 1]
+                concentrate accesses on the first active words (square
+                transform), modelling very hot words inside sparse
+                pages ("a sparse page can be identified as a hot page
+                because of a few very hot words").
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        k = counts_per_page[pages]
+        u = rng.random(pages.size)
+        if skew > 0.0:
+            u = u ** (1.0 + skew * 3.0)
+        i = (u * k).astype(np.int64)
+        start = self.start_of(pages)
+        stride = self.stride_of(pages)
+        return (start + i * stride) % WORDS_PER_PAGE
+
+
+def addresses_from(pages: np.ndarray, words: np.ndarray) -> np.ndarray:
+    """Combine page ids and word indices into logical byte addresses."""
+    pages = np.asarray(pages, dtype=np.uint64)
+    words = np.asarray(words, dtype=np.uint64)
+    return (pages << np.uint64(12)) | (words << np.uint64(WORD_SHIFT))

@@ -1,0 +1,69 @@
+"""Tests for the CSV figure exporters."""
+
+import csv
+
+import numpy as np
+
+from repro.analysis import (
+    AccessCdf,
+    export_cdf_curves,
+    export_ratio_bars,
+    export_series,
+    export_sparsity,
+    write_csv,
+)
+from repro.analysis.sparsity import SparsityProfile
+
+
+def read(path):
+    with open(path) as fh:
+        return list(csv.reader(fh))
+
+
+class TestWriteCsv:
+    def test_basic(self, tmp_path):
+        p = write_csv(tmp_path / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+        rows = read(p)
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2"]
+
+    def test_creates_directories(self, tmp_path):
+        p = write_csv(tmp_path / "deep" / "x.csv", ["a"], [[1]])
+        assert p.exists()
+
+
+class TestExporters:
+    def test_ratio_bars(self, tmp_path):
+        p = export_ratio_bars(
+            tmp_path / "fig3.csv",
+            {"mcf": {"anb": 0.4, "damon": 0.5}, "roms": {"anb": 0.1}},
+        )
+        rows = read(p)
+        assert rows[0] == ["bench", "anb", "damon"]
+        assert rows[2][2] == ""  # roms has no damon value
+
+    def test_sparsity(self, tmp_path):
+        prof = SparsityProfile("redis", {4: 0.4, 8: 0.6, 16: 0.8,
+                                         32: 0.9, 48: 0.95}, 100)
+        p = export_sparsity(tmp_path / "fig4.csv", {"redis": prof})
+        rows = read(p)
+        assert rows[0][0] == "bench"
+        assert float(rows[1][3]) == 0.8
+
+    def test_cdf_curves(self, tmp_path):
+        cdf = AccessCdf.from_counts("x", np.array([1, 10, 100, 1000]))
+        p = export_cdf_curves(tmp_path / "fig10.csv", {"x": cdf},
+                              log10_grid=[0.0, 1.0, 2.0, 3.0])
+        rows = read(p)
+        assert rows[0] == ["log10_count", "x"]
+        assert float(rows[-1][1]) == 1.0
+
+    def test_series(self, tmp_path):
+        p = export_series(
+            tmp_path / "fig11.csv",
+            {"mcf": {1: 0.99, 2: 0.9}, "roms": {1: 0.97}},
+            x_label="processes",
+        )
+        rows = read(p)
+        assert rows[0] == ["processes", "mcf", "roms"]
+        assert rows[2][2] == ""

@@ -1,0 +1,163 @@
+"""Tests for the analysis metrics: ratio, sparsity, CDF, tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AccessCdf,
+    RatioReport,
+    best_cpu_driven,
+    breakeven_migration_accesses,
+    dense_page_fraction,
+    figure4_row,
+    from_trace,
+    k_access_count,
+    migration_worthwhile,
+    ratio,
+    render_series,
+    render_table,
+    summarize,
+    tracker_ratio,
+)
+from repro.cxl.pac import PageAccessCounter
+from repro.memory.address import PAGE_SIZE, AddressRegion
+
+
+def pac_with_counts(counts):
+    region = AddressRegion(0, len(counts) * PAGE_SIZE)
+    pac = PageAccessCounter(region)
+    pages = np.repeat(np.arange(len(counts)), counts)
+    pac.observe(pages.astype(np.uint64) << np.uint64(12))
+    return pac
+
+
+class TestRatioMetric:
+    def test_k_access_count(self):
+        pac = pac_with_counts([10, 5, 1])
+        assert k_access_count(pac, [0, 2]) == 11
+
+    def test_ratio_perfect(self):
+        pac = pac_with_counts([10, 5, 1])
+        assert ratio(pac, [0, 1]) == pytest.approx(1.0)
+
+    def test_ratio_warm(self):
+        pac = pac_with_counts([10, 5, 1])
+        assert ratio(pac, [2]) == pytest.approx(0.1)
+
+    def test_ratio_dedups(self):
+        pac = pac_with_counts([10, 5, 1])
+        assert ratio(pac, [0, 0, 0]) == pytest.approx(1.0)
+
+    def test_ratio_k_cap(self):
+        pac = pac_with_counts([10, 5, 1])
+        assert ratio(pac, [2, 0], k_cap=1) == pytest.approx(0.1)
+
+    def test_ratio_empty(self):
+        pac = pac_with_counts([10])
+        assert ratio(pac, []) == 0.0
+
+    def test_tracker_ratio(self):
+        truth = {1: 10, 2: 5, 3: 1}
+        assert tracker_ratio(truth, [1, 2], k=2) == pytest.approx(1.0)
+        assert tracker_ratio(truth, [3, 2], k=2) == pytest.approx(6 / 15)
+        assert tracker_ratio(truth, [], k=2) == 0.0
+
+    def test_report_and_best(self):
+        anb = summarize("x", "anb", [0.1, 0.3])
+        damon = summarize("x", "damon", [0.2, 0.4])
+        assert anb.mean == pytest.approx(0.2)
+        assert anb.min == pytest.approx(0.1)
+        assert anb.max == pytest.approx(0.3)
+        assert best_cpu_driven([anb, damon]).policy == "damon"
+        with pytest.raises(ValueError):
+            best_cpu_driven([])
+
+    def test_empty_report(self):
+        r = RatioReport("x", "anb", ())
+        assert r.mean == 0.0
+
+
+class TestSparsityMetric:
+    def test_from_trace(self):
+        # page 0: 4 words; page 1: 64 words
+        pa = [w * 64 for w in range(4)] + [4096 + w * 64 for w in range(64)]
+        prof = from_trace("t", np.array(pa, dtype=np.uint64))
+        assert prof.at(4) == pytest.approx(0.5)
+        assert prof.at(48) == pytest.approx(0.5)
+        assert prof.pages_observed == 2
+
+    def test_dense_fraction(self):
+        pa = [4096 + w * 64 for w in range(64)]
+        prof = from_trace("t", np.array(pa, dtype=np.uint64))
+        assert dense_page_fraction(prof) == pytest.approx(1.0)
+
+    def test_figure4_row(self):
+        pa = [w * 64 for w in range(4)]
+        prof = from_trace("t", np.array(pa, dtype=np.uint64))
+        row = figure4_row(prof)
+        assert len(row) == 5
+        assert row[0] == pytest.approx(1.0)
+
+    def test_classification_flags(self):
+        sparse = from_trace("s", np.array([0, 64], dtype=np.uint64))
+        assert sparse.mostly_sparse and not sparse.mostly_dense
+
+
+class TestCdfMetric:
+    def cdf(self):
+        counts = np.concatenate([
+            np.full(90, 10.0), np.full(9, 100.0), np.full(1, 1000.0),
+        ])
+        return AccessCdf.from_counts("x", counts)
+
+    def test_percentiles(self):
+        cdf = self.cdf()
+        assert cdf.percentile(50) == pytest.approx(10.0)
+        assert cdf.percentile(99) == pytest.approx(100.0, rel=0.2)
+
+    def test_hotness_ratio(self):
+        cdf = self.cdf()
+        assert cdf.hotness_ratio(95) == pytest.approx(10.0, rel=0.2)
+
+    def test_zero_counts_dropped(self):
+        cdf = AccessCdf.from_counts("x", np.array([0, 0, 5]))
+        assert cdf.counts.size == 1
+
+    def test_gini_bounds(self):
+        flat = AccessCdf.from_counts("f", np.full(100, 7.0))
+        skew = AccessCdf.from_counts("s", np.array([1.0] * 99 + [1e6]))
+        assert flat.gini() == pytest.approx(0.0, abs=0.01)
+        assert skew.gini() > 0.9
+
+    def test_cdf_points_monotone(self):
+        x, f = self.cdf().cdf_points()
+        assert (np.diff(f) >= 0).all()
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_empty_cdf(self):
+        cdf = AccessCdf.from_counts("e", np.array([]))
+        assert cdf.percentile(50) == 0.0
+        assert cdf.gini() == 0.0
+
+    def test_breakeven(self):
+        assert breakeven_migration_accesses() == pytest.approx(317.6, abs=0.1)
+
+    def test_migration_worthwhile(self):
+        hot = AccessCdf.from_counts(
+            "h", np.concatenate([np.full(50, 10.0), np.full(50, 10_000.0)])
+        )
+        flat = AccessCdf.from_counts("f", np.full(100, 10.0))
+        assert migration_worthwhile(hot)
+        assert not migration_worthwhile(flat)
+
+
+class TestTables:
+    def test_render_table(self):
+        out = render_table("T", ["a", "b"], [[1, 2.5], ["x", None]])
+        assert "T" in out
+        assert "2.500" in out
+        assert "-" in out  # None cell
+
+    def test_render_series(self):
+        out = render_series("S", [("k", 1.0)])
+        assert "S" in out and "k" in out

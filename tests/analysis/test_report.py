@@ -1,0 +1,66 @@
+"""Tests for the benchmark profile report."""
+
+import pytest
+
+from repro.analysis.report import (
+    BenchmarkProfile,
+    profile_benchmark,
+    render_markdown,
+)
+from repro.core.manager.nominator import HPT_DRIVEN, HPT_ONLY, HWT_DRIVEN
+from repro.sim import SimConfig
+
+
+@pytest.fixture(scope="module")
+def redis_profile():
+    cfg = SimConfig(total_accesses=300_000, migrate=False, checkpoints=2)
+    return profile_benchmark("redis", config=cfg)
+
+
+class TestProfileBenchmark:
+    def test_fields_populated(self, redis_profile):
+        assert redis_profile.bench == "redis"
+        assert redis_profile.cdf.counts.size > 0
+        assert redis_profile.sparsity.pages_observed > 0
+        assert set(redis_profile.policy_ratios) == {"anb", "damon"}
+
+    def test_redis_recommended_hwt(self, redis_profile):
+        """Guideline 4: sparse-page apps get the HWT-driven mode."""
+        assert redis_profile.recommended_nominator == HWT_DRIVEN
+
+    def test_dense_app_recommended_hpt_only(self):
+        cfg = SimConfig(total_accesses=300_000, migrate=False, checkpoints=2)
+        profile = profile_benchmark("pr", config=cfg)
+        assert profile.recommended_nominator == HPT_ONLY
+
+    def test_mixed_app_recommended_hpt_driven(self):
+        cfg = SimConfig(total_accesses=300_000, migrate=False, checkpoints=2)
+        profile = profile_benchmark("roms", config=cfg)
+        assert profile.recommended_nominator == HPT_DRIVEN
+
+
+class TestRenderMarkdown:
+    def test_sections_present(self, redis_profile):
+        text = render_markdown(redis_profile)
+        for heading in ("# Profile: redis", "## Page heat", "## Word sparsity",
+                        "## CPU-driven identification quality",
+                        "## Recommendation"):
+            assert heading in text
+
+    def test_ratio_rows_present(self, redis_profile):
+        text = render_markdown(redis_profile)
+        assert "| anb |" in text
+        assert "| damon |" in text
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        rc = main([
+            "report", "--bench", "mcf", "--accesses", "150000",
+            "--output", str(out),
+        ])
+        assert rc == 0
+        assert out.read_text().startswith("# Profile: mcf")

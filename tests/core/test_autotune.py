@@ -1,0 +1,106 @@
+"""Tests for the adaptive (auto-tuned) Elector."""
+
+import pytest
+
+from repro.core.manager import AdaptiveElector, MonitorSample
+
+
+def sample(bw_ddr, bw_cxl, ddr_free=0, nd=10, nc=10):
+    return MonitorSample(nr_pages_ddr=nd, nr_pages_cxl=nc, bw_ddr=bw_ddr,
+                         bw_cxl=bw_cxl, ddr_free_pages=ddr_free)
+
+
+def make(**kw):
+    defaults = dict(f_default=1.0, min_period_s=1e-3, max_period_s=10.0,
+                    improvement_epsilon=1e-2)
+    defaults.update(kw)
+    return AdaptiveElector(**defaults)
+
+
+class TestTuning:
+    def test_frequency_rises_when_migration_pays(self):
+        e = make()
+        # First step migrates (always_first); DDR share then rises.
+        e.step(0.0, sample(10.0, 100.0, ddr_free=5))
+        f0 = e.f_default
+        e.step(100.0, sample(60.0, 50.0, ddr_free=5))
+        assert e.f_default > f0
+        assert e.adjustments_up == 1
+
+    def test_frequency_falls_when_migration_churns(self):
+        e = make()
+        e.step(0.0, sample(50.0, 50.0, ddr_free=5))
+        f0 = e.f_default
+        # Share flat after migrating: churn detected.
+        e.step(100.0, sample(50.0, 50.0, ddr_free=5))
+        assert e.f_default < f0
+        assert e.adjustments_down == 1
+
+    def test_no_adjustment_without_prior_migration(self):
+        e = make(always_first=False)
+        e.step(0.0, sample(50.0, 50.0))
+        f0 = e.f_default
+        e.step(100.0, sample(50.0, 50.0))
+        assert e.f_default == f0
+
+    def test_frequency_clamped(self):
+        e = make(f_max=2.0, increase=10.0)
+        e.step(0.0, sample(10.0, 100.0, ddr_free=5))
+        e.step(100.0, sample(90.0, 20.0, ddr_free=5))
+        assert e.f_default == 2.0
+        e2 = make(f_min=0.5, decrease=0.01)
+        e2.step(0.0, sample(50.0, 50.0, ddr_free=5))
+        e2.step(100.0, sample(50.0, 50.0, ddr_free=5))
+        assert e2.f_default == 0.5
+
+    def test_higher_frequency_shortens_period(self):
+        e = make()
+        s = sample(50.0, 50.0)  # bw_den ratio 1 -> period in range
+        before = e.period_for(s)
+        e.f_default *= 4.0
+        assert e.period_for(s) == pytest.approx(before / 4.0)
+
+    def test_reset(self):
+        e = make()
+        e.step(0.0, sample(10.0, 100.0, ddr_free=5))
+        e.step(100.0, sample(60.0, 50.0, ddr_free=5))
+        e.reset()
+        assert e.adjustments_up == 0
+        assert not e._migrated_last_period
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveElector(f_default=1.0, f_min=2.0)
+        with pytest.raises(ValueError):
+            AdaptiveElector(increase=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveElector(decrease=1.5)
+
+
+class TestEndToEnd:
+    def test_adaptive_manager_runs(self):
+        """AdaptiveElector drops into M5Manager unchanged."""
+        import numpy as np
+
+        from repro.core.manager import M5Manager, Nominator
+        from repro.core.trackers import make_hpt
+        from repro.memory.migration import MigrationEngine
+        from repro.memory.tiers import NodeKind, TieredMemory
+
+        mem = TieredMemory(ddr_pages=16, cxl_pages=128, num_logical_pages=64)
+        mem.allocate_all(NodeKind.CXL)
+        mgr = M5Manager(
+            mem, MigrationEngine(mem), hpt=make_hpt(k=8, algorithm="exact"),
+            elector=make(),
+        )
+        for t in range(5):
+            pfns = np.array(
+                [mem.frame_of_page(p) for p in (1, 2, 3)], dtype=np.uint64
+            )
+            mgr.hpt.observe(np.repeat(pfns << np.uint64(12), 20))
+            mem.begin_epoch(1.0)
+            mem.record_epoch_accesses(np.repeat(np.array([1, 2, 3]), 20))
+            mgr.step(float(t * 10))
+        assert mem.node_of_page(1) is NodeKind.DDR

@@ -1,0 +1,88 @@
+"""Tests for the §8 huge-page extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.hugepage import (
+    HUGE_SHIFT,
+    PAGES_PER_HUGE,
+    HugePageAggregator,
+    make_huge_hpt,
+)
+
+
+def pfns_in_huge(hfn, count, start=0):
+    """(pfn, count) HPT entries inside one 2MB region."""
+    base = hfn << HUGE_SHIFT
+    return [(base + start + i, 10) for i in range(count)]
+
+
+class TestAggregation:
+    def test_accumulates_counts_and_occupancy(self):
+        agg = HugePageAggregator(min_occupancy=1)
+        agg.update_from_hpt(pfns_in_huge(3, 4))
+        assert agg.pending == 1
+        [entry] = agg.nominate()
+        assert entry.hfn == 3
+        assert entry.count == 40
+        assert entry.occupancy == 4
+
+    def test_nominate_sorts_by_heat(self):
+        agg = HugePageAggregator(min_occupancy=1)
+        agg.update_from_hpt(pfns_in_huge(1, 2))
+        agg.update_from_hpt(pfns_in_huge(2, 5))
+        order = [e.hfn for e in agg.nominate()]
+        assert order == [2, 1]
+
+    def test_nominate_consumes_state(self):
+        agg = HugePageAggregator(min_occupancy=1)
+        agg.update_from_hpt(pfns_in_huge(1, 1))
+        agg.nominate()
+        assert agg.nominate() == []
+
+    def test_limit(self):
+        agg = HugePageAggregator(min_occupancy=1)
+        for hfn in range(5):
+            agg.update_from_hpt(pfns_in_huge(hfn, 1))
+        assert len(agg.nominate(limit=2)) == 2
+
+
+class TestGuards:
+    def test_occupancy_guard(self):
+        """One hot 4KB page must not drag in a 2MB promotion."""
+        agg = HugePageAggregator(min_occupancy=8)
+        agg.update_from_hpt(pfns_in_huge(1, 7))
+        assert agg.nominate() == []
+        agg.update_from_hpt(pfns_in_huge(2, 8))
+        assert [e.hfn for e in agg.nominate()] == [2]
+
+    def test_os_consultation(self):
+        """§8: 'M5 needs to consult with the OS to check whether these
+        page addresses belong to allocated huge pages.'"""
+        agg = HugePageAggregator(
+            is_huge_allocated=lambda hfn: hfn % 2 == 0, min_occupancy=1
+        )
+        agg.update_from_hpt(pfns_in_huge(1, 3))
+        agg.update_from_hpt(pfns_in_huge(2, 3))
+        assert [e.hfn for e in agg.nominate()] == [2]
+        assert agg.rejected_not_huge == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HugePageAggregator(min_occupancy=0)
+        with pytest.raises(ValueError):
+            HugePageAggregator(min_occupancy=PAGES_PER_HUGE + 1)
+
+
+class TestHugeHpt:
+    def test_keys_are_2mb_granular(self):
+        tracker = make_huge_hpt(k=4)
+        # Two addresses in the same 2MB region, one outside.
+        pa = np.array([0x20_0000, 0x20_0040, 0x40_0000], dtype=np.uint64)
+        tracker.observe(pa)
+        top = dict(tracker.peek())
+        assert top[1] == 2  # 2MB frame 1 observed twice
+        assert top[2] == 1
+
+    def test_granularity_label(self):
+        assert make_huge_hpt().granularity == "huge-page"

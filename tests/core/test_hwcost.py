@@ -1,0 +1,93 @@
+"""Tests for the Table 4 hardware cost model."""
+
+import pytest
+
+from repro.core import hwcost
+
+
+class TestCalibration:
+    """The model must reproduce the paper's Table 4 points exactly."""
+
+    @pytest.mark.parametrize("n,area,power", [
+        (50, 3_649.0, 0.7),
+        (100, 7_323.0, 1.3),
+        (512, 36_374.0, 6.4),
+        (1024, 89_369.0, 15.0),
+        (2048, 179_625.0, 29.9),
+    ])
+    def test_space_saving_points(self, n, area, power):
+        est = hwcost.estimate("space-saving", n)
+        assert est.area_um2 == pytest.approx(area, rel=1e-6)
+        assert est.power_mw == pytest.approx(power, rel=1e-6)
+
+    @pytest.mark.parametrize("n,area,power", [
+        (50, 1_899.0, 2.0),
+        (2048, 5_346.0, 3.9),
+        (32768, 46_930.0, 23.2),
+        (131072, 180_530.0, 83.8),
+    ])
+    def test_cm_sketch_points(self, n, area, power):
+        est = hwcost.estimate("cm-sketch", n)
+        assert est.area_um2 == pytest.approx(area, rel=1e-6)
+        assert est.power_mw == pytest.approx(power, rel=1e-6)
+
+    def test_interpolation_monotone(self):
+        a = hwcost.estimate("cm-sketch", 3000).area_um2
+        b = hwcost.estimate("cm-sketch", 6000).area_um2
+        assert hwcost.estimate("cm-sketch", 2048).area_um2 < a < b
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            hwcost.estimate("bloom", 64)
+
+    def test_rejects_nonpositive_entries(self):
+        with pytest.raises(ValueError):
+            hwcost.estimate("cm-sketch", 0)
+
+
+class TestFeasibility:
+    def test_fpga_space_saving_caps_at_50(self):
+        """§7.1: FPGA synthesis allows only up to 50 CAM entries."""
+        assert hwcost.is_feasible("space-saving", 50, "fpga")
+        assert not hwcost.is_feasible("space-saving", 51, "fpga")
+
+    def test_fpga_cm_sketch_caps_at_128k(self):
+        assert hwcost.is_feasible("cm-sketch", 128 * 1024, "fpga")
+        assert not hwcost.is_feasible("cm-sketch", 256 * 1024, "fpga")
+
+    def test_asic_space_saving_caps_at_2k(self):
+        assert hwcost.is_feasible("space-saving", 2048)
+        assert not hwcost.is_feasible("space-saving", 4096)
+
+    def test_infeasible_estimate_is_none(self):
+        """Table 4's blank cells."""
+        assert hwcost.estimate("space-saving", 8192) is None
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            hwcost.feasible_entries("cm-sketch", "asic3nm")
+
+
+class TestHeadlines:
+    def test_relative_cost_at_2k(self):
+        """§7.1: SS costs 33.6x area and 7.6x power of CMS at N=2K."""
+        rel = hwcost.relative_cost(2048)
+        assert rel["area_ratio"] == pytest.approx(33.6, rel=0.01)
+        assert rel["power_ratio"] == pytest.approx(7.67, rel=0.01)
+
+    def test_chip_overhead_tiny(self):
+        """§8: the 32K tracker is ~0.01% of an 8GB module's die area."""
+        frac = hwcost.chip_overhead_fraction(32 * 1024)
+        assert frac < 0.001
+        assert frac == pytest.approx(1e-4, rel=0.5)
+
+    def test_max_access_rate(self):
+        """One access per 2.5ns tCCD = 400MHz."""
+        assert hwcost.max_access_rate_hz() == pytest.approx(400e6)
+
+    def test_table4_rows(self):
+        rows = hwcost.table4()
+        assert len(rows) == 8
+        last = rows[-1]
+        assert last["space_saving_area_um2"] is None
+        assert last["cm_sketch_area_um2"] == pytest.approx(180_530.0)

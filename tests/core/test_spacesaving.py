@@ -1,0 +1,139 @@
+"""Tests for the Space-Saving and Misra-Gries summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spacesaving import MisraGries, SpaceSaving
+
+
+class TestSpaceSavingBasics:
+    def test_tracks_up_to_capacity(self):
+        ss = SpaceSaving(3)
+        for k in (1, 2, 3):
+            ss.update_one(k)
+        assert len(ss) == 3
+        assert 1 in ss
+
+    def test_miss_replaces_minimum(self):
+        ss = SpaceSaving(2)
+        ss.update_one(1)
+        ss.update_one(1)
+        ss.update_one(2)
+        ss.update_one(3)  # replaces 2 (count 1), inherits min+1 = 2
+        assert 3 in ss
+        assert 2 not in ss
+        assert ss.estimate_one(3) == 2
+
+    def test_estimate_of_untracked_zero(self):
+        ss = SpaceSaving(2)
+        assert ss.estimate_one(9) == 0
+
+    def test_top_k_sorted(self):
+        ss = SpaceSaving(4)
+        for k, n in ((1, 5), (2, 3), (3, 8)):
+            for _ in range(n):
+                ss.update_one(k)
+        top = ss.top_k(2)
+        assert top[0] == (3, 8)
+        assert top[1] == (1, 5)
+
+    def test_weighted_update(self):
+        ss = SpaceSaving(4)
+        ss.update_one(5, weight=10)
+        assert ss.estimate_one(5) == 10
+        assert ss.items_seen == 10
+
+    def test_reset(self):
+        ss = SpaceSaving(4)
+        ss.update_one(1)
+        ss.reset()
+        assert len(ss) == 0
+        assert ss.items_seen == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+
+class TestSpaceSavingGuarantees:
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=400))
+    def test_overestimate_guarantee(self, keys):
+        """Tracked estimates never underestimate the true count."""
+        ss = SpaceSaving(8)
+        for k in keys:
+            ss.update_one(k)
+        true = np.bincount(keys, minlength=51)
+        for addr, est in ss.top_k(8):
+            assert est >= true[addr]
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=400))
+    def test_error_bounded_by_n_over_m(self, keys):
+        """Classic Space-Saving bound: error <= items/capacity."""
+        m = 8
+        ss = SpaceSaving(m)
+        for k in keys:
+            ss.update_one(k)
+        true = np.bincount(keys, minlength=51)
+        for addr, est in ss.top_k(m):
+            assert est - true[addr] <= len(keys) / m
+
+    def test_heavy_hitter_always_tracked(self):
+        """An item with frequency > n/m must be in the summary."""
+        rng = np.random.default_rng(0)
+        noise = rng.integers(10, 1000, 900).tolist()
+        stream = noise[:450] + [7] * 300 + noise[450:]
+        ss = SpaceSaving(8)
+        for k in stream:
+            ss.update_one(k)
+        assert 7 in ss
+
+    def test_batch_matches_sequential_for_tracked(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 30, 1000).astype(np.uint64)
+        seq = SpaceSaving(50)  # capacity >= cardinality: exact
+        bat = SpaceSaving(50)
+        for k in keys.tolist():
+            seq.update_one(int(k))
+        uniques, first, counts = np.unique(keys, return_index=True,
+                                           return_counts=True)
+        order = np.argsort(first)
+        bat.update_batch(uniques[order], counts[order])
+        assert dict(seq.top_k(50)) == dict(bat.top_k(50))
+
+
+class TestMisraGries:
+    def test_decrement_on_full_miss(self):
+        mg = MisraGries(2)
+        mg.update_one(1)
+        mg.update_one(2)
+        mg.update_one(3)  # decrements all; 1 and 2 drop to 0 -> evicted
+        assert len(mg) <= 2
+
+    def test_underestimates(self):
+        """Misra-Gries is one-sided the other way: est <= true."""
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 40, 600)
+        mg = MisraGries(8)
+        for k in keys.tolist():
+            mg.update_one(int(k))
+        true = np.bincount(keys, minlength=41)
+        for addr, est in mg.top_k(8):
+            assert est <= true[addr]
+
+    def test_majority_item_survives(self):
+        mg = MisraGries(2)
+        stream = [1] * 60 + list(range(2, 42))
+        rng = np.random.default_rng(3)
+        rng.shuffle(stream)
+        for k in stream:
+            mg.update_one(k)
+        assert 1 in mg
+
+    def test_weighted_update(self):
+        mg = MisraGries(2)
+        mg.update_one(1, weight=5)
+        assert mg.estimate_one(1) == 5

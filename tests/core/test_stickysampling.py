@@ -1,0 +1,81 @@
+"""Tests for the Sticky Sampling summary."""
+
+import numpy as np
+import pytest
+
+from repro.core.stickysampling import StickySampling
+
+
+class TestBasics:
+    def test_tracked_items_always_counted(self):
+        ss = StickySampling(support=0.5, error=0.1, seed=0)
+        ss.update_one(1)  # rate 1 at the start: always admitted
+        for _ in range(9):
+            ss.update_one(1)
+        assert ss.estimate_one(1) == 10
+
+    def test_rate_starts_at_one(self):
+        ss = StickySampling(support=0.5, error=0.1)
+        assert ss.rate == 1
+
+    def test_rate_doubles_across_epochs(self):
+        ss = StickySampling(support=0.5, error=0.2, failure_prob=0.5, seed=1)
+        for i in range(10 * ss._t):
+            ss.update_one(i % 7)
+        assert ss.rate >= 2
+
+    def test_untracked_estimate_zero(self):
+        ss = StickySampling(support=0.5, error=0.1)
+        assert ss.estimate_one(99) == 0
+
+    def test_update_batch(self):
+        ss = StickySampling(support=0.5, error=0.1, seed=0)
+        ss.update_batch(np.array([3, 3, 3], dtype=np.uint64))
+        assert ss.estimate_one(3) == 3
+
+    def test_reset(self):
+        ss = StickySampling(support=0.5, error=0.1)
+        ss.update_one(1)
+        ss.reset()
+        assert len(ss) == 0
+        assert ss.rate == 1
+
+
+class TestGuarantees:
+    def test_heavy_hitter_reported(self):
+        """An item above the support threshold appears in
+        frequent_items with high probability."""
+        rng = np.random.default_rng(0)
+        stream = [7] * 5000 + rng.integers(100, 10_000, 5000).tolist()
+        rng.shuffle(stream)
+        ss = StickySampling(support=0.2, error=0.02, failure_prob=0.01, seed=2)
+        for k in stream:
+            ss.update_one(int(k))
+        assert 7 in dict(ss.frequent_items())
+
+    def test_estimates_never_exceed_truth(self):
+        """Sampling admits late: counts are underestimates."""
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 30, 4000)
+        ss = StickySampling(support=0.05, error=0.01, seed=3)
+        for k in keys.tolist():
+            ss.update_one(int(k))
+        true = np.bincount(keys, minlength=30)
+        for addr, est in ss.top_k(30):
+            assert est <= true[addr]
+
+    def test_top_k_sorted(self):
+        ss = StickySampling(support=0.5, error=0.1, seed=0)
+        for k, n in ((1, 10), (2, 4)):
+            for _ in range(n):
+                ss.update_one(k)
+        top = ss.top_k(2)
+        assert top[0][0] == 1
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StickySampling(support=0.1, error=0.2)
+        with pytest.raises(ValueError):
+            StickySampling(support=0.1, error=0.01, failure_prob=0.0)

@@ -1,0 +1,106 @@
+"""Tests for the sorted-CAM top-K table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import SortedCam
+
+
+class TestOffer:
+    def test_fills_free_entries(self):
+        cam = SortedCam(2)
+        assert cam.offer(1, 10)
+        assert cam.offer(2, 5)
+        assert len(cam) == 2
+
+    def test_hit_updates_count(self):
+        cam = SortedCam(2)
+        cam.offer(1, 10)
+        cam.offer(1, 25)
+        assert cam.count_of(1) == 25
+        assert cam.hits == 1
+
+    def test_miss_replaces_minimum_when_larger(self):
+        cam = SortedCam(2)
+        cam.offer(1, 10)
+        cam.offer(2, 5)
+        assert cam.offer(3, 7)
+        assert 2 not in cam
+        assert 3 in cam
+
+    def test_miss_rejected_when_not_larger(self):
+        cam = SortedCam(2)
+        cam.offer(1, 10)
+        cam.offer(2, 5)
+        assert not cam.offer(3, 5)  # equal to min: not larger
+        assert cam.rejections == 1
+        assert 2 in cam
+
+    def test_table_min(self):
+        cam = SortedCam(2)
+        assert cam.table_min == 0
+        cam.offer(1, 10)
+        assert cam.table_min == 0  # free entry remains
+        cam.offer(2, 4)
+        assert cam.table_min == 4
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SortedCam(0)
+
+
+class TestEntries:
+    def test_entries_sorted_desc(self):
+        cam = SortedCam(3)
+        cam.offer(1, 5)
+        cam.offer(2, 9)
+        cam.offer(3, 7)
+        assert [a for a, _ in cam.entries()] == [2, 3, 1]
+
+    def test_tie_break_by_address(self):
+        cam = SortedCam(3)
+        cam.offer(9, 5)
+        cam.offer(3, 5)
+        assert [a for a, _ in cam.entries()] == [3, 9]
+
+    def test_addresses(self):
+        cam = SortedCam(2)
+        cam.offer(1, 5)
+        cam.offer(2, 9)
+        assert cam.addresses() == [2, 1]
+
+    def test_reset(self):
+        cam = SortedCam(2)
+        cam.offer(1, 5)
+        cam.reset()
+        assert len(cam) == 0
+        assert cam.count_of(1) == 0
+
+
+class TestInvariants:
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 100)),
+                    min_size=1, max_size=200))
+    def test_size_bounded_and_min_never_decreases_on_replace(self, offers):
+        cam = SortedCam(4)
+        prev_min_when_full = 0
+        for addr, est in offers:
+            was_full = len(cam) == 4 and addr not in cam
+            before = cam.table_min
+            cam.offer(addr, est)
+            assert len(cam) <= 4
+            if was_full and est > before:
+                # replacement keeps at least the old minimum's successor
+                assert cam.table_min >= before
+                prev_min_when_full = before
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(1, 50)),
+                    min_size=1, max_size=100))
+    def test_entries_always_sorted(self, offers):
+        cam = SortedCam(3)
+        for addr, est in offers:
+            cam.offer(addr, est)
+            counts = [c for _, c in cam.entries()]
+            assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,85 @@
+"""Tests for the CXL controller request path."""
+
+import numpy as np
+import pytest
+
+from repro.memory.address import PAGE_SIZE, AddressRegion
+from repro.cxl.controller import CxlController
+from repro.cxl.pac import PageAccessCounter
+
+
+class RecordingSnoop:
+    def __init__(self):
+        self.batches = []
+
+    def observe(self, addresses):
+        self.batches.append(np.array(addresses, copy=True))
+
+
+def make():
+    region = AddressRegion(0x1000_0000, 16 * PAGE_SIZE)
+    return region, CxlController(region)
+
+
+class TestServe:
+    def test_in_region_requests_served(self):
+        region, ctrl = make()
+        served = ctrl.serve(np.array([region.start, region.start + 64],
+                                     dtype=np.uint64))
+        assert served == 2
+        assert ctrl.requests_served == 2
+
+    def test_out_of_region_dropped(self):
+        region, ctrl = make()
+        served = ctrl.serve(np.array([0], dtype=np.uint64))
+        assert served == 0
+
+    def test_snoops_see_only_in_region_stream(self):
+        region, ctrl = make()
+        snoop = RecordingSnoop()
+        ctrl.attach(snoop)
+        ctrl.serve(np.array([0, region.start], dtype=np.uint64))
+        assert len(snoop.batches) == 1
+        assert list(snoop.batches[0]) == [region.start]
+
+    def test_multiple_snoops_all_notified(self):
+        region, ctrl = make()
+        a, b = RecordingSnoop(), RecordingSnoop()
+        ctrl.attach(a)
+        ctrl.attach(b)
+        ctrl.serve(np.array([region.start], dtype=np.uint64))
+        assert len(a.batches) == len(b.batches) == 1
+
+    def test_detach(self):
+        region, ctrl = make()
+        snoop = RecordingSnoop()
+        ctrl.attach(snoop)
+        ctrl.detach(snoop)
+        ctrl.serve(np.array([region.start], dtype=np.uint64))
+        assert not snoop.batches
+
+    def test_attach_requires_observe(self):
+        _, ctrl = make()
+        with pytest.raises(TypeError):
+            ctrl.attach(object())
+
+    def test_pac_integration(self):
+        region, ctrl = make()
+        pac = PageAccessCounter(region)
+        ctrl.attach(pac)
+        ctrl.serve(np.array([region.start, region.start + PAGE_SIZE],
+                            dtype=np.uint64))
+        assert pac.counts()[0] == 1
+        assert pac.counts()[1] == 1
+
+
+class TestServiceTime:
+    def test_latency_scaling(self):
+        _, ctrl = make()
+        assert ctrl.service_time_ns(10) == pytest.approx(2700.0)
+        assert ctrl.service_time_ns(10, parallelism=4) == pytest.approx(675.0)
+
+    def test_parallelism_validated(self):
+        _, ctrl = make()
+        with pytest.raises(ValueError):
+            ctrl.service_time_ns(1, parallelism=0)

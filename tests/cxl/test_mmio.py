@@ -1,0 +1,102 @@
+"""Tests for the MMIO window and register-file models."""
+
+import numpy as np
+import pytest
+
+from repro.cxl.mmio import (
+    COUNTER_WINDOW_BYTES,
+    CounterWindow,
+    MmioError,
+    RegisterFile,
+)
+
+
+class TestRegisterFile:
+    def test_read_write(self):
+        rf = RegisterFile(["a", "b"])
+        rf.write("a", 42)
+        assert rf.read("a") == 42
+        assert rf.read("b") == 0
+
+    def test_values_truncated_to_64bit(self):
+        rf = RegisterFile(["a"])
+        rf.write("a", 1 << 70)
+        assert rf.read("a") == 0
+
+    def test_offsets_are_distinct(self):
+        rf = RegisterFile(["a", "b", "c"])
+        offs = {rf.offset_of(n) for n in "abc"}
+        assert len(offs) == 3
+
+    def test_unknown_register_rejected(self):
+        rf = RegisterFile(["a"])
+        with pytest.raises(MmioError):
+            rf.read("nope")
+        with pytest.raises(MmioError):
+            rf.write("nope", 1)
+
+    def test_names(self):
+        rf = RegisterFile(["x", "y"])
+        assert rf.names() == ("x", "y")
+
+
+class TestCounterWindow:
+    def make(self, counters=1 << 20, dtype=np.uint32):
+        sram = np.arange(counters, dtype=dtype)
+        return sram, CounterWindow(sram)
+
+    def test_read_within_window(self):
+        sram, win = self.make()
+        out = win.read_counters(0, 4)
+        assert list(out) == [0, 1, 2, 3]
+
+    def test_read_is_a_copy(self):
+        sram, win = self.make()
+        out = win.read_counters(0, 1)
+        out[0] = 999
+        assert sram[0] == 0
+
+    def test_base_register_pages_through_sram(self):
+        sram, win = self.make()
+        win.set_base(COUNTER_WINDOW_BYTES)
+        first_behind_window = COUNTER_WINDOW_BYTES // sram.itemsize
+        out = win.read_counters(0, 1)
+        assert out[0] == first_behind_window
+
+    def test_base_must_be_aligned(self):
+        _, win = self.make()
+        with pytest.raises(MmioError):
+            win.set_base(4096)
+
+    def test_base_beyond_sram_rejected(self):
+        _, win = self.make(counters=1024)
+        with pytest.raises(MmioError):
+            win.set_base(COUNTER_WINDOW_BYTES * 8)
+
+    def test_read_beyond_window_rejected(self):
+        _, win = self.make()
+        with pytest.raises(MmioError):
+            win.read_counters(COUNTER_WINDOW_BYTES - 4, 2)
+
+    def test_read_beyond_sram_rejected(self):
+        _, win = self.make(counters=8)
+        with pytest.raises(MmioError):
+            win.read_counters(0, 9)
+
+    def test_read_all_sweeps_entire_sram(self):
+        """The driver loop: sweep the 1MB window over a 4MB SRAM."""
+        counters = (4 << 20) // 4  # 4MB of uint32
+        sram = np.arange(counters, dtype=np.uint32)
+        win = CounterWindow(sram)
+        out = win.read_all()
+        assert np.array_equal(out, sram)
+
+    def test_read_all_restores_base(self):
+        _, win = self.make()
+        win.set_base(0)
+        win.read_all()
+        assert win.base == 0
+
+    def test_rejects_multidimensional_sram(self):
+        with pytest.raises(MmioError):
+            CounterWindow(np.zeros((2, 2), dtype=np.uint32))

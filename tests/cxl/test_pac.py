@@ -1,0 +1,165 @@
+"""Tests for the Page Access Counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import PAGE_SIZE, AddressRegion
+from repro.cxl.pac import PageAccessCounter
+
+BASE = 0x1000_0000
+
+
+def region(pages=64):
+    return AddressRegion(BASE, pages * PAGE_SIZE)
+
+
+def addresses_for(page_indices):
+    """Byte addresses inside the region for relative page indices."""
+    rel = np.asarray(page_indices, dtype=np.uint64)
+    return np.uint64(BASE) + rel * np.uint64(PAGE_SIZE) + np.uint64(64)
+
+
+class TestExactCounting:
+    def test_counts_match_bincount(self):
+        pac = PageAccessCounter(region())
+        pages = np.array([0, 1, 1, 2, 2, 2])
+        pac.observe(addresses_for(pages))
+        assert list(pac.counts()[:4]) == [1, 2, 3, 0]
+
+    def test_every_word_of_page_counts_to_same_page(self):
+        pac = PageAccessCounter(region())
+        pa = np.uint64(BASE) + np.arange(64, dtype=np.uint64) * np.uint64(64)
+        pac.observe(pa)
+        assert pac.counts()[0] == 64
+
+    def test_out_of_region_ignored(self):
+        pac = PageAccessCounter(region())
+        pac.observe(np.array([0, BASE - 64], dtype=np.uint64))
+        assert pac.total_accesses == 0
+
+    def test_disabled_counts_nothing(self):
+        pac = PageAccessCounter(region())
+        pac.registers.write("enable", 0)
+        pac.observe(addresses_for([0]))
+        assert pac.total_accesses == 0
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=500))
+    def test_exactness_property(self, pages):
+        """PAC is exact: counts equal a reference histogram."""
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for(pages))
+        expected = np.bincount(pages, minlength=64)
+        assert np.array_equal(pac.counts(), expected)
+
+
+class TestSaturationAndSpill:
+    def test_small_counter_spills_to_table(self):
+        pac = PageAccessCounter(region(), counter_bits=4)
+        pages = np.zeros(100, dtype=np.int64)  # 100 > 15 saturation
+        pac.observe(addresses_for(pages))
+        assert pac.counts()[0] == 100
+        assert pac.spills >= 1
+
+    def test_incremental_observation_remains_exact(self):
+        pac = PageAccessCounter(region(), counter_bits=3)
+        for _ in range(50):
+            pac.observe(addresses_for([5, 5, 5]))
+        assert pac.counts()[5] == 150
+
+    def test_flush_drains_sram(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([1]))
+        pac.flush()
+        assert pac.read_sram_via_mmio().sum() == 0
+        assert pac.counts()[1] == 1
+
+    def test_counter_bits_validated(self):
+        with pytest.raises(ValueError):
+            PageAccessCounter(region(), counter_bits=0)
+
+
+class TestLookups:
+    def test_count_of_page_absolute_pfn(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([3, 3]))
+        pfn = (BASE // PAGE_SIZE) + 3
+        assert pac.count_of_page(pfn) == 2
+
+    def test_count_of_page_outside_region(self):
+        pac = PageAccessCounter(region())
+        assert pac.count_of_page(0) == 0
+
+    def test_counts_of_pages_vectorised(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([0, 1, 1]))
+        base_pfn = BASE // PAGE_SIZE
+        out = pac.counts_of_pages([base_pfn, base_pfn + 1, 0])
+        assert list(out) == [1, 2, 0]
+
+    def test_top_k_ordering(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([2] * 5 + [7] * 3 + [1]))
+        base_pfn = BASE // PAGE_SIZE
+        assert list(pac.top_k(2)) == [base_pfn + 2, base_pfn + 7]
+
+    def test_top_k_excludes_untouched(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([2]))
+        assert len(pac.top_k(10)) == 1
+
+    def test_top_k_access_count(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([2] * 5 + [7] * 3 + [1]))
+        assert pac.top_k_access_count(2) == 8
+
+    def test_reset(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([1]))
+        pac.reset()
+        assert pac.counts().sum() == 0
+        assert pac.total_accesses == 0
+
+
+class TestCounterCacheMode:
+    """§3 Scalability: SRAM too small → counters behave as a cache."""
+
+    def test_cache_mode_engaged(self):
+        pac = PageAccessCounter(region(64), sram_counters=8)
+        assert pac._cache_mode
+
+    def test_cache_mode_remains_exact(self):
+        pac = PageAccessCounter(region(64), sram_counters=8)
+        rng = np.random.default_rng(0)
+        pages = rng.integers(0, 64, 2000)
+        pac.observe(addresses_for(pages))
+        expected = np.bincount(pages, minlength=64)
+        assert np.array_equal(pac.counts(), expected)
+
+    def test_evictions_happen_on_conflicts(self):
+        pac = PageAccessCounter(region(64), sram_counters=8)
+        # Pages 0 and 8 conflict in a direct-mapped cache of 8 sets.
+        pac.observe(addresses_for([0, 8, 0, 8]))
+        assert pac.evictions >= 2
+        assert pac.counts()[0] == 2
+        assert pac.counts()[8] == 2
+
+    def test_full_sram_when_counters_cover_region(self):
+        pac = PageAccessCounter(region(64), sram_counters=64)
+        assert not pac._cache_mode
+
+
+class TestMmioInterface:
+    def test_sram_readable_via_window(self):
+        pac = PageAccessCounter(region())
+        pac.observe(addresses_for([1, 1, 3]))
+        sram = pac.read_sram_via_mmio()
+        assert sram[1] == 2
+        assert sram[3] == 1
+
+    def test_registers_present(self):
+        pac = PageAccessCounter(region())
+        assert pac.registers.read("region_start") == BASE
+        assert pac.registers.read("region_size") == 64 * PAGE_SIZE

@@ -1,0 +1,128 @@
+"""Tests for physical-address arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import address as addr
+
+
+class TestConstants:
+    def test_words_per_page(self):
+        assert addr.WORDS_PER_PAGE == 64
+
+    def test_shifts_consistent(self):
+        assert 1 << addr.WORD_SHIFT == addr.WORD_SIZE
+        assert 1 << addr.PAGE_SHIFT == addr.PAGE_SIZE
+        assert addr.WORDS_PER_PAGE_SHIFT == addr.PAGE_SHIFT - addr.WORD_SHIFT
+
+
+class TestConversions:
+    def test_page_of(self):
+        assert addr.page_of(0) == 0
+        assert addr.page_of(4095) == 0
+        assert addr.page_of(4096) == 1
+
+    def test_word_line_of(self):
+        assert addr.word_line_of(0) == 0
+        assert addr.word_line_of(63) == 0
+        assert addr.word_line_of(64) == 1
+
+    def test_word_index_in_page(self):
+        assert addr.word_index_in_page(0) == 0
+        assert addr.word_index_in_page(64) == 1
+        assert addr.word_index_in_page(4096) == 0
+        assert addr.word_index_in_page(4096 + 63 * 64) == 63
+
+    def test_page_of_word_line_matches_hardware_shift(self):
+        # PAC's address-to-PFN converter: a 6-bit right shift of the
+        # 64B line index.
+        pa = 0x12345678 & ~0x3F
+        line = addr.word_line_of(pa)
+        assert addr.page_of_word_line(line) == addr.page_of(pa)
+
+    def test_roundtrip_page(self):
+        assert addr.page_of(addr.pa_of_page(123)) == 123
+
+    def test_roundtrip_word_line(self):
+        assert addr.word_line_of(addr.pa_of_word_line(999)) == 999
+
+    @given(st.integers(min_value=0, max_value=addr.PA_SPACE - 1))
+    def test_word_line_consistency(self, pa):
+        line = addr.word_line_of(pa)
+        assert addr.page_of_word_line(line) == addr.page_of(pa)
+        assert addr.word_index_of_line(line) == addr.word_index_in_page(pa)
+
+    def test_vectorised_matches_scalar(self):
+        pas = np.array([0, 4095, 4096, 1 << 40], dtype=np.uint64)
+        assert list(addr.as_page_array(pas)) == [addr.page_of(int(p)) for p in pas]
+        assert list(addr.as_line_array(pas)) == [addr.word_line_of(int(p)) for p in pas]
+
+
+class TestValidation:
+    def test_validate_ok(self):
+        assert addr.validate_pa(0) == 0
+        assert addr.validate_pa(addr.PA_SPACE - 1) == addr.PA_SPACE - 1
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            addr.validate_pa(-1)
+
+    def test_validate_rejects_beyond_48bit(self):
+        with pytest.raises(ValueError):
+            addr.validate_pa(addr.PA_SPACE)
+
+    def test_pages_for_bytes(self):
+        assert addr.pages_for_bytes(1) == 1
+        assert addr.pages_for_bytes(4096) == 1
+        assert addr.pages_for_bytes(4097) == 2
+        assert addr.pages_for_bytes(0) == 0
+
+
+class TestAddressRegion:
+    def test_basic_properties(self):
+        r = addr.AddressRegion(0x10000, 8 * addr.PAGE_SIZE)
+        assert r.end == 0x10000 + 8 * 4096
+        assert r.num_pages == 8
+        assert r.num_word_lines == 8 * 64
+        assert r.first_page == 0x10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            addr.AddressRegion(0, 0)
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(ValueError):
+            addr.AddressRegion(addr.PA_SPACE - 4096, 2 * 4096)
+
+    def test_contains_scalar_and_vector(self):
+        r = addr.AddressRegion(4096, 4096)
+        assert r.contains(4096)
+        assert r.contains(8191)
+        assert not r.contains(8192)
+        mask = r.contains(np.array([0, 4096, 8191, 8192], dtype=np.uint64))
+        assert list(mask) == [False, True, True, False]
+
+    def test_contains_page(self):
+        r = addr.AddressRegion(2 * 4096, 3 * 4096)
+        assert not r.contains_page(1)
+        assert r.contains_page(2)
+        assert r.contains_page(4)
+        assert not r.contains_page(5)
+
+    def test_offset_of(self):
+        r = addr.AddressRegion(4096, 4096)
+        assert r.offset_of(4100) == 4
+
+    def test_equality_and_hash(self):
+        a = addr.AddressRegion(0, 4096)
+        b = addr.AddressRegion(0, 4096)
+        c = addr.AddressRegion(4096, 4096)
+        assert a == b
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_repr_mentions_bounds(self):
+        r = addr.AddressRegion(0x1000, 0x2000)
+        assert "0x1000" in repr(r)

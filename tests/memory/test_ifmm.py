@@ -1,0 +1,94 @@
+"""Tests for the Intel Flat Memory Mode model (§9)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.ifmm import FlatMemoryMode
+
+
+class TestResidency:
+    def test_identity_prefix_initially_resident(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        assert fm.resident(3)
+        assert not fm.resident(11)  # aliases slot 3, not resident
+
+    def test_first_access_to_cached_word_hits(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        hits = fm.access(np.array([3]))
+        assert hits[0]
+
+    def test_access_to_uncached_word_swaps(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        hits = fm.access(np.array([11]))
+        assert not hits[0]
+        assert fm.resident(11)
+        assert not fm.resident(3)  # displaced by the swap
+
+    def test_swap_is_exclusive(self):
+        """The displaced word moves to CXL; re-touching it swaps back."""
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        fm.access(np.array([11]))
+        hits = fm.access(np.array([3]))
+        assert not hits[0]
+        assert fm.resident(3)
+        assert not fm.resident(11)
+
+    def test_repeated_access_hits_after_first(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        hits = fm.access(np.array([11, 11, 11]))
+        assert list(hits) == [False, True, True]
+
+
+class TestStatsAndTiming:
+    def test_stats_accumulate(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        fm.access(np.array([1, 9, 9]))
+        assert fm.stats.ddr_hits == 2
+        assert fm.stats.cxl_swaps == 1
+        assert fm.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_service_time(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16, swap_extra_ns=40.0)
+        hits = np.array([True, False])
+        assert fm.service_time_ns(hits) == pytest.approx(100.0 + 310.0)
+
+    def test_reset(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        fm.access(np.array([9]))
+        fm.reset()
+        assert fm.resident(1)
+        assert fm.stats.total == 0
+
+
+class TestAliasing:
+    def test_equal_capacity_never_conflicts(self):
+        """The 1:1 regime IFMM is designed for: every word has its own
+        slot, so after the first touch everything hits."""
+        fm = FlatMemoryMode(ddr_words=16, cxl_words=16)
+        words = np.tile(np.arange(16), 4)
+        hits = fm.access(words)
+        assert hits[16:].all()
+
+    def test_oversubscribed_hot_aliases_thrash(self):
+        """Two hot words sharing a slot ping-pong — the §9 limitation
+        that motivates pairing IFMM with M5."""
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        words = np.tile(np.array([3, 11]), 50)  # alias in slot 3
+        hits = fm.access(words)
+        assert hits[1:].sum() == 0  # every access after the first swaps
+
+    def test_byte_address_interface(self):
+        fm = FlatMemoryMode(ddr_words=8, cxl_words=16)
+        base = 0x1000_0000
+        hits = fm.access_addresses(
+            np.array([base + 64 * 3, base + 64 * 3], dtype=np.uint64), base=base
+        )
+        assert list(hits) == [True, True]
+
+
+class TestValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            FlatMemoryMode(ddr_words=0, cxl_words=8)
+        with pytest.raises(ValueError):
+            FlatMemoryMode(ddr_words=16, cxl_words=8)

@@ -1,0 +1,105 @@
+"""Tests for the MGLRU demotion-victim model."""
+
+import numpy as np
+import pytest
+
+from repro.memory.mglru import MultiGenLru
+
+
+class TestTracking:
+    def test_track_sets_oldest_generation(self):
+        lru = MultiGenLru(16)
+        lru.track(np.array([1, 2]))
+        assert lru.generation_of(1) >= 0
+
+    def test_untracked_reports_minus_one(self):
+        lru = MultiGenLru(16)
+        assert lru.generation_of(3) == -1
+
+    def test_untrack(self):
+        lru = MultiGenLru(16)
+        lru.track(np.array([1]))
+        lru.untrack(np.array([1]))
+        assert lru.generation_of(1) == -1
+
+    def test_track_is_idempotent_for_generation(self):
+        lru = MultiGenLru(16)
+        lru.track(np.array([1]))
+        lru.age()
+        lru.record_accesses(np.array([1]))
+        gen = lru.generation_of(1)
+        lru.track(np.array([1]))  # re-track must not reset to old
+        assert lru.generation_of(1) == gen
+
+
+class TestAccessAndAge:
+    def test_access_promotes_to_youngest(self):
+        lru = MultiGenLru(16)
+        lru.track(np.array([1, 2]))
+        lru.age()
+        lru.record_accesses(np.array([1]))
+        assert lru.generation_of(1) == 0
+        assert lru.generation_of(2) > 0
+
+    def test_access_untracked_is_noop(self):
+        lru = MultiGenLru(16)
+        lru.record_accesses(np.array([5]))
+        assert lru.generation_of(5) == -1
+
+    def test_generation_window_bounded(self):
+        lru = MultiGenLru(16, num_generations=4)
+        lru.track(np.array([1]))
+        for _ in range(10):
+            lru.age()
+        assert 0 <= lru.generation_of(1) <= 3
+
+    def test_min_seq_follows_max(self):
+        lru = MultiGenLru(16, num_generations=3)
+        for _ in range(5):
+            lru.age()
+        assert lru.min_seq == lru.max_seq - 2
+
+
+class TestColdest:
+    def test_coldest_prefers_oldest(self):
+        lru = MultiGenLru(16)
+        lru.track(np.arange(4))
+        lru.age()
+        lru.record_accesses(np.array([0, 1]))  # 0,1 young; 2,3 old
+        victims = lru.coldest(2)
+        assert set(victims) == {2, 3}
+
+    def test_coldest_respects_among(self):
+        lru = MultiGenLru(16)
+        lru.track(np.arange(8))
+        victims = lru.coldest(3, among=np.array([5, 6]))
+        assert set(victims) <= {5, 6}
+
+    def test_coldest_skips_untracked(self):
+        lru = MultiGenLru(16)
+        lru.track(np.array([1]))
+        victims = lru.coldest(5, among=np.array([1, 2, 3]))
+        assert list(victims) == [1]
+
+    def test_coldest_empty_cases(self):
+        lru = MultiGenLru(16)
+        assert lru.coldest(3).size == 0
+        lru.track(np.array([1]))
+        assert lru.coldest(0).size == 0
+
+    def test_coldest_deterministic_tie_break(self):
+        lru = MultiGenLru(16)
+        lru.track(np.array([3, 1, 2]))
+        assert list(lru.coldest(3)) == [1, 2, 3]
+
+    def test_tracked_count(self):
+        lru = MultiGenLru(16)
+        lru.track(np.array([1, 2, 3]))
+        lru.untrack(np.array([2]))
+        assert lru.tracked_count() == 2
+
+
+class TestValidation:
+    def test_rejects_single_generation(self):
+        with pytest.raises(ValueError):
+            MultiGenLru(16, num_generations=1)

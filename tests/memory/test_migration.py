@@ -1,0 +1,140 @@
+"""Tests for the migration engine (Promoter's kernel half)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.migration import (
+    MigrationCostModel,
+    MigrationEngine,
+    PinReason,
+)
+from repro.memory.tiers import NodeKind, TieredMemory
+
+
+def make_engine(ddr=4, cxl=16, pages=8):
+    mem = TieredMemory(ddr_pages=ddr, cxl_pages=cxl, num_logical_pages=pages)
+    mem.allocate_all(NodeKind.CXL)
+    return mem, MigrationEngine(mem)
+
+
+class TestCostModel:
+    def test_cost_linear(self):
+        m = MigrationCostModel(54.0)
+        assert m.cost_us(10) == pytest.approx(540.0)
+
+    def test_breakeven_matches_paper(self):
+        """§7.2: 54us / (270ns - 100ns) ≈ 318 accesses."""
+        m = MigrationCostModel(54.0)
+        assert m.breakeven_accesses(270.0, 100.0) == pytest.approx(317.6, abs=0.1)
+
+    def test_breakeven_infinite_when_no_gain(self):
+        m = MigrationCostModel(54.0)
+        assert m.breakeven_accesses(100.0, 100.0) == float("inf")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel(-1.0)
+
+
+class TestPromotion:
+    def test_promote_moves_pages(self):
+        mem, eng = make_engine()
+        assert eng.promote(np.array([0, 1])) == 2
+        assert mem.node_of_page(0) is NodeKind.DDR
+        assert eng.stats.promoted == 2
+        assert eng.stats.time_us == pytest.approx(2 * 54.0)
+
+    def test_promote_skips_already_on_ddr(self):
+        mem, eng = make_engine()
+        eng.promote(np.array([0]))
+        assert eng.promote(np.array([0])) == 0
+
+    def test_promote_demotes_when_full(self):
+        mem, eng = make_engine(ddr=2)
+        eng.promote(np.array([0, 1]))
+        eng.mglru.age()
+        # 2 and 3 must evict 0 and 1 (older generation).
+        promoted = eng.promote(np.array([2, 3]))
+        assert promoted == 2
+        assert eng.stats.demoted == 2
+        assert mem.node_of_page(2) is NodeKind.DDR
+        assert mem.node_of_page(0) is NodeKind.CXL
+
+    def test_promote_never_demotes_batch_member(self):
+        mem, eng = make_engine(ddr=2)
+        eng.promote(np.array([0, 1]))
+        # Promoting [0, 2]: 0 already on DDR; victim for 2 must be 1.
+        eng.promote(np.array([0, 2]))
+        assert mem.node_of_page(0) is NodeKind.DDR
+        assert mem.node_of_page(2) is NodeKind.DDR
+
+    def test_ddr_reserve_respected(self):
+        mem, _ = make_engine(ddr=4)
+        eng = MigrationEngine(mem, ddr_reserve_pages=2)
+        eng.promote(np.array([0, 1, 2, 3]))
+        assert mem.nr_pages(NodeKind.DDR) <= 2 + 0  # 2 free reserved
+
+    def test_mglru_tracks_promoted(self):
+        _, eng = make_engine()
+        eng.promote(np.array([0]))
+        assert eng.mglru.generation_of(0) >= 0
+
+
+class TestDemotion:
+    def test_demote_moves_back(self):
+        mem, eng = make_engine()
+        eng.promote(np.array([0]))
+        assert eng.demote(np.array([0])) == 1
+        assert mem.node_of_page(0) is NodeKind.CXL
+        assert eng.mglru.generation_of(0) == -1
+
+    def test_demote_skips_cxl_resident(self):
+        _, eng = make_engine()
+        assert eng.demote(np.array([0])) == 0
+
+
+class TestPinning:
+    def test_pinned_pages_rejected(self):
+        mem, eng = make_engine()
+        eng.pin(np.array([0]), PinReason.DMA)
+        assert eng.promote(np.array([0, 1])) == 1
+        assert mem.node_of_page(0) is NodeKind.CXL
+        assert eng.stats.rejected == 1
+        assert eng.stats.rejected_by_reason[PinReason.DMA] == 1
+
+    def test_unpin_restores_migratability(self):
+        mem, eng = make_engine()
+        eng.pin(np.array([0]), PinReason.NODE_BOUND)
+        eng.unpin(np.array([0]))
+        assert eng.promote(np.array([0])) == 1
+
+    def test_pin_reason_query(self):
+        _, eng = make_engine()
+        eng.pin(np.array([0]), PinReason.NODE_BOUND)
+        assert eng.pin_reason(0) is PinReason.NODE_BOUND
+        assert eng.pin_reason(1) is PinReason.NONE
+
+    def test_pin_none_rejected(self):
+        _, eng = make_engine()
+        with pytest.raises(ValueError):
+            eng.pin(np.array([0]), PinReason.NONE)
+
+
+class TestStats:
+    def test_reset_stats(self):
+        _, eng = make_engine()
+        eng.promote(np.array([0]))
+        eng.reset_stats()
+        assert eng.stats.promoted == 0
+        assert eng.stats.time_us == 0.0
+
+    def test_frame_conservation_through_churn(self):
+        """Frames stay unique through heavy promote/demote churn."""
+        mem, eng = make_engine(ddr=4, cxl=16, pages=12)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            eng.promote(rng.choice(12, size=3, replace=False))
+            eng.mglru.age()
+        frames = mem.frame_map[:12]
+        assert len(np.unique(frames)) == 12
+        assert mem.ddr.used_pages + mem.cxl.used_pages == 12

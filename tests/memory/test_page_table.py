@@ -1,0 +1,114 @@
+"""Tests for the PTE model (present/access bits)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.page_table import PageTable
+from repro.memory.tlb import Tlb
+
+
+def table(n=64, capacity=16, decay=0.0):
+    return PageTable(n, tlb=Tlb(n, capacity=capacity, decay=decay))
+
+
+class TestTouch:
+    def test_no_faults_when_present(self):
+        pt = table()
+        faults = pt.touch(np.array([1, 2, 3]))
+        assert not faults.any()
+        assert pt.hinting_faults == 0
+
+    def test_access_bits_set_on_walk(self):
+        pt = table()
+        pt.touch(np.array([5]))
+        assert pt.accessed[5]
+
+    def test_access_bit_not_set_on_tlb_hit(self):
+        pt = table()
+        pt.touch(np.array([5]))
+        pt.scan_and_clear_accessed(np.array([5]))
+        # Translation still cached: the second touch walks nothing.
+        pt.touch(np.array([5]))
+        assert not pt.accessed[5]
+
+    def test_access_bit_set_again_after_shootdown(self):
+        pt = table()
+        pt.touch(np.array([5]))
+        pt.scan_and_clear_accessed(np.array([5]))
+        pt.tlb.shootdown(np.array([5]))
+        pt.touch(np.array([5]))
+        assert pt.accessed[5]
+
+
+class TestUnmapAndFault:
+    def test_unmap_clears_present(self):
+        pt = table()
+        assert pt.unmap(np.array([3, 4])) == 2
+        assert not pt.present[3]
+        assert not pt.present[4]
+
+    def test_unmap_counts_only_present(self):
+        pt = table()
+        pt.unmap(np.array([3]))
+        assert pt.unmap(np.array([3])) == 0
+
+    def test_fault_on_unmapped_access(self):
+        pt = table()
+        pt.unmap(np.array([3]))
+        faults = pt.touch(np.array([2, 3, 3]))
+        assert list(faults) == [False, True, True]
+        # One page faulted (handled once), now present again.
+        assert pt.hinting_faults == 1
+        assert pt.present[3]
+
+    def test_second_access_after_fault_no_fault(self):
+        pt = table()
+        pt.unmap(np.array([3]))
+        pt.touch(np.array([3]))
+        faults = pt.touch(np.array([3]))
+        assert not faults.any()
+
+    def test_unmap_shoots_down_tlb(self):
+        pt = table()
+        pt.touch(np.array([3]))
+        resident_before = pt.tlb.resident
+        pt.unmap(np.array([3]))
+        assert pt.tlb.resident == resident_before - 1
+
+
+class TestScan:
+    def test_scan_returns_and_clears(self):
+        pt = table()
+        pt.touch(np.array([1, 2]))
+        bits = pt.scan_and_clear_accessed(np.arange(4))
+        assert list(bits) == [False, True, True, False]
+        bits = pt.scan_and_clear_accessed(np.arange(4))
+        assert not bits.any()
+
+    def test_scan_counts_pte_writes(self):
+        pt = table()
+        pt.reset_counters()
+        pt.scan_and_clear_accessed(np.arange(10))
+        assert pt.pte_writes == 10
+
+    def test_boolean_access_bit_loses_intensity(self):
+        """§2.1: the access bit captures one access per epoch no
+        matter how many occurred — hot and warm look identical."""
+        pt = table()
+        pt.touch(np.array([1] * 100 + [2]))
+        bits = pt.scan_and_clear_accessed(np.array([1, 2]))
+        assert bits[0] == bits[1] == True  # noqa: E712
+
+    def test_reset_counters(self):
+        pt = table()
+        pt.unmap(np.array([1]))
+        pt.touch(np.array([1]))
+        pt.reset_counters()
+        assert pt.hinting_faults == 0
+        assert pt.pte_writes == 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            PageTable(0)

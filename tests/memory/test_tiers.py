@@ -1,0 +1,189 @@
+"""Tests for the tiered-memory model."""
+
+import numpy as np
+import pytest
+
+from repro.memory.address import PAGE_SIZE
+from repro.memory.tiers import MemoryNode, NodeKind, TieredMemory
+
+
+class TestMemoryNode:
+    def test_allocate_and_free(self):
+        node = MemoryNode(NodeKind.DDR, 4, 0, 100.0)
+        pfns = [node.allocate_frame() for _ in range(4)]
+        assert len(set(pfns)) == 4
+        assert node.free_pages == 0
+        with pytest.raises(MemoryError):
+            node.allocate_frame()
+        node.free_frame(pfns[0])
+        assert node.free_pages == 1
+
+    def test_free_rejects_foreign_pfn(self):
+        node = MemoryNode(NodeKind.DDR, 4, 0, 100.0)
+        with pytest.raises(ValueError):
+            node.free_frame(10_000)
+
+    def test_frames_within_region(self):
+        node = MemoryNode(NodeKind.CXL, 8, 0x10000000, 270.0)
+        for _ in range(8):
+            pfn = node.allocate_frame()
+            assert node.region.contains_page(pfn)
+
+    def test_epoch_counters(self):
+        node = MemoryNode(NodeKind.DDR, 4, 0, 100.0)
+        node.record_accesses(10)
+        node.record_accesses(5)
+        assert node.accesses_this_epoch == 15
+        node.begin_epoch()
+        assert node.accesses_this_epoch == 0
+        assert node.accesses_total == 15
+
+
+class TestAllocation:
+    def test_allocate_all_on_cxl(self, tiered):
+        assert tiered.nr_pages(NodeKind.CXL) == 32
+        assert tiered.nr_pages(NodeKind.DDR) == 0
+
+    def test_double_allocation_rejected(self, tiered):
+        with pytest.raises(RuntimeError):
+            tiered.allocate_all(NodeKind.CXL)
+
+    def test_footprint_must_fit(self):
+        with pytest.raises(ValueError):
+            TieredMemory(ddr_pages=4, cxl_pages=4, num_logical_pages=16)
+
+    def test_interleaved_allocation_fractions(self):
+        mem = TieredMemory(ddr_pages=600, cxl_pages=600, num_logical_pages=1000)
+        mem.allocate_interleaved(0.5)
+        ddr = mem.nr_pages(NodeKind.DDR)
+        assert 350 < ddr < 650
+        assert ddr + mem.nr_pages(NodeKind.CXL) == 1000
+
+    def test_interleaved_overflow_spills_to_other_node(self):
+        mem = TieredMemory(ddr_pages=10, cxl_pages=100, num_logical_pages=100)
+        mem.allocate_interleaved(0.9)  # DDR can't hold 90 pages
+        assert mem.nr_pages(NodeKind.DDR) == 10
+        assert mem.nr_pages(NodeKind.CXL) == 90
+
+
+class TestPlacementMaps:
+    def test_frame_map_unique(self, tiered):
+        frames = tiered.frame_map[:32]
+        assert len(np.unique(frames)) == 32
+
+    def test_node_of_page(self, tiered):
+        assert tiered.node_of_page(0) is NodeKind.CXL
+
+    def test_reverse_map_roundtrip(self, tiered):
+        pfn = tiered.frame_of_page(7)
+        assert tiered.logical_page_of_pfn(pfn) == 7
+
+    def test_reverse_map_unknown(self, tiered):
+        assert tiered.logical_page_of_pfn(12345678) is None
+
+    def test_vectorised_reverse_map(self, tiered):
+        pfns = np.array([tiered.frame_of_page(i) for i in (3, 9, 20)])
+        out = tiered.logical_pages_of_pfns(pfns)
+        assert list(out) == [3, 9, 20]
+
+    def test_vectorised_reverse_map_unknowns(self, tiered):
+        out = tiered.logical_pages_of_pfns(np.array([999_999_999]))
+        assert list(out) == [-1]
+
+
+class TestMovePage:
+    def test_move_to_ddr(self, tiered):
+        old = tiered.frame_of_page(5)
+        new = tiered.move_page(5, NodeKind.DDR)
+        assert new != old
+        assert tiered.node_of_page(5) is NodeKind.DDR
+        assert tiered.ddr.region.contains_page(new)
+
+    def test_move_is_idempotent(self, tiered):
+        a = tiered.move_page(5, NodeKind.DDR)
+        b = tiered.move_page(5, NodeKind.DDR)
+        assert a == b
+
+    def test_move_frees_source_frame(self, tiered):
+        before = tiered.cxl.free_pages
+        tiered.move_page(5, NodeKind.DDR)
+        assert tiered.cxl.free_pages == before + 1
+
+    def test_move_full_target_raises(self):
+        mem = TieredMemory(ddr_pages=1, cxl_pages=4, num_logical_pages=3)
+        mem.allocate_all(NodeKind.CXL)
+        mem.move_page(0, NodeKind.DDR)
+        with pytest.raises(MemoryError):
+            mem.move_page(1, NodeKind.DDR)
+
+
+class TestTranslate:
+    def test_translate_preserves_offset(self, tiered):
+        la = np.array([5 * PAGE_SIZE + 200], dtype=np.uint64)
+        pa = tiered.translate(la)
+        assert int(pa[0]) % PAGE_SIZE == 200
+        assert int(pa[0]) // PAGE_SIZE == tiered.frame_of_page(5)
+
+    def test_translate_tracks_migration(self, tiered):
+        la = np.array([5 * PAGE_SIZE], dtype=np.uint64)
+        before = tiered.translate(la)[0]
+        tiered.move_page(5, NodeKind.DDR)
+        after = tiered.translate(la)[0]
+        assert before != after
+        assert tiered.ddr.region.contains(int(after))
+
+    def test_translate_rejects_unallocated(self):
+        mem = TieredMemory(ddr_pages=4, cxl_pages=4, num_logical_pages=4)
+        with pytest.raises(KeyError):
+            mem.translate(np.array([0], dtype=np.uint64))
+
+
+class TestMonitorStatistics:
+    def test_bw_counts_read_bandwidth(self, tiered):
+        tiered.begin_epoch(2.0)
+        tiered.record_epoch_accesses(np.array([0, 1, 2, 0]))
+        # 4 CXL accesses of 64B over 2 seconds
+        assert tiered.bw(NodeKind.CXL) == pytest.approx(4 * 64 / 2.0)
+        assert tiered.bw(NodeKind.DDR) == 0.0
+
+    def test_bw_den_normalises_by_capacity(self, tiered):
+        tiered.begin_epoch(1.0)
+        tiered.record_epoch_accesses(np.array([0, 1]))
+        expected = (2 * 64) / (32 * PAGE_SIZE)
+        assert tiered.bw_den(NodeKind.CXL) == pytest.approx(expected)
+
+    def test_bw_den_zero_when_empty(self, tiered):
+        tiered.begin_epoch(1.0)
+        assert tiered.bw_den(NodeKind.DDR) == 0.0
+
+    def test_split_accounting(self, tiered):
+        tiered.move_page(0, NodeKind.DDR)
+        tiered.begin_epoch(1.0)
+        tiered.record_epoch_accesses(np.array([0, 0, 1]))
+        assert tiered.ddr.accesses_this_epoch == 2
+        assert tiered.cxl.accesses_this_epoch == 1
+
+    def test_stats_snapshot_keys(self, tiered):
+        tiered.begin_epoch(1.0)
+        stats = tiered.stats()
+        assert set(stats) == {
+            "nr_pages_ddr", "nr_pages_cxl", "bw_ddr", "bw_cxl",
+            "bw_den_ddr", "bw_den_cxl",
+        }
+
+    def test_begin_epoch_rejects_nonpositive(self, tiered):
+        with pytest.raises(ValueError):
+            tiered.begin_epoch(0.0)
+
+    def test_bw_proportional_to_page_share(self):
+        """The §5.2 hypothesis: with random placement, bw(node) tracks
+        nr_pages(node)."""
+        rng = np.random.default_rng(0)
+        mem = TieredMemory(ddr_pages=800, cxl_pages=800, num_logical_pages=900)
+        mem.allocate_interleaved(2 / 3)
+        mem.begin_epoch(1.0)
+        pages = rng.integers(0, 900, 200_000)
+        mem.record_epoch_accesses(pages)
+        ratio_pages = mem.nr_pages(NodeKind.DDR) / mem.nr_pages(NodeKind.CXL)
+        ratio_bw = mem.bw(NodeKind.DDR) / mem.bw(NodeKind.CXL)
+        assert ratio_bw == pytest.approx(ratio_pages, rel=0.05)

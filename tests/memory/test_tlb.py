@@ -1,0 +1,92 @@
+"""Tests for the TLB model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.tlb import Tlb, TlbShootdownModel
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        tlb = Tlb(64, capacity=8, decay=0.0)
+        missed = tlb.access(np.array([1, 2]))
+        assert missed.all()
+        assert tlb.misses == 2
+
+    def test_second_access_hits(self):
+        tlb = Tlb(64, capacity=8, decay=0.0)
+        tlb.access(np.array([1]))
+        missed = tlb.access(np.array([1]))
+        assert not missed.any()
+        assert tlb.hits == 1
+
+    def test_duplicate_in_batch_counts_each(self):
+        tlb = Tlb(64, capacity=8, decay=0.0)
+        missed = tlb.access(np.array([1, 1]))
+        # Both looked up before insertion completes the batch.
+        assert missed.all()
+        assert tlb.resident == 1
+
+    def test_capacity_respected(self):
+        tlb = Tlb(256, capacity=8, decay=0.0)
+        tlb.access(np.arange(100))
+        assert tlb.resident <= 8
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    def test_resident_never_exceeds_capacity(self, pages):
+        tlb = Tlb(64, capacity=4, decay=0.0)
+        tlb.access(np.array(pages))
+        assert 0 <= tlb.resident <= 4
+
+
+class TestShootdownAndAging:
+    def test_shootdown_removes_entries(self):
+        tlb = Tlb(64, capacity=8, decay=0.0)
+        tlb.access(np.array([1, 2]))
+        assert tlb.shootdown(np.array([1])) == 1
+        assert tlb.resident == 1
+
+    def test_shootdown_missing_page_is_noop(self):
+        tlb = Tlb(64, capacity=8, decay=0.0)
+        assert tlb.shootdown(np.array([9])) == 0
+
+    def test_aging_evicts_probabilistically(self):
+        tlb = Tlb(4096, capacity=2048, decay=0.5, seed=3)
+        tlb.access(np.arange(1000))
+        tlb.age()
+        assert tlb.resident < 1000
+
+    def test_zero_decay_aging_is_noop(self):
+        tlb = Tlb(64, capacity=8, decay=0.0)
+        tlb.access(np.array([1, 2]))
+        tlb.age()
+        assert tlb.resident == 2
+
+    def test_flush(self):
+        tlb = Tlb(64, capacity=8, decay=0.0)
+        tlb.access(np.array([1, 2]))
+        tlb.flush()
+        assert tlb.resident == 0
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tlb(64, capacity=0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            Tlb(64, decay=1.5)
+
+
+class TestShootdownModel:
+    def test_cost_linear(self):
+        model = TlbShootdownModel(cost_us_per_shootdown=4.0)
+        assert model.cost_us(10) == pytest.approx(40.0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            TlbShootdownModel(cost_us_per_shootdown=-1)

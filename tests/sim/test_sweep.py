@@ -1,0 +1,70 @@
+"""Tests for the sweep utilities and M5Options plumbing."""
+
+import pytest
+
+from repro.core.manager import HPT_DRIVEN, HPT_ONLY, HWT_DRIVEN
+from repro.sim import (
+    M5Options,
+    SimConfig,
+    Simulation,
+    matrix_means,
+    normalized,
+    run_matrix,
+    run_one,
+)
+from repro.workloads import build
+
+
+def tiny_config():
+    return SimConfig(total_accesses=60_000, chunk_size=30_000,
+                     ddr_pages=512, cxl_pages=8192, checkpoints=1)
+
+
+class TestRunOne:
+    def test_runs(self):
+        result = run_one("mcf", "none", tiny_config())
+        assert result.benchmark == "mcf"
+        assert result.policy == "none"
+
+    def test_pages_per_gb_override(self):
+        result = run_one("mcf", "none", tiny_config(), pages_per_gb=512)
+        assert result.nr_pages_cxl < 4000  # half-size footprint
+
+
+class TestMatrix:
+    def test_matrix_shape_and_means(self):
+        matrix = run_matrix(["mcf"], ["anb", "m5-hpt"], tiny_config)
+        assert set(matrix) == {"mcf"}
+        assert set(matrix["mcf"]) == {"anb", "m5-hpt"}
+        means = matrix_means(matrix)
+        assert means["anb"] == matrix["mcf"]["anb"]
+
+    def test_normalized_uses_p99_for_redis(self):
+        base = run_one("redis", "none", tiny_config())
+        same = run_one("redis", "none", tiny_config())
+        assert normalized(base, same) == pytest.approx(1.0)
+
+
+class TestM5OptionsPlumbing:
+    def test_mode_map(self):
+        for policy, mode in (
+            ("m5-hpt", HPT_ONLY),
+            ("m5-hwt", HWT_DRIVEN),
+            ("m5-hpt+hwt", HPT_DRIVEN),
+        ):
+            sim = Simulation(build("mcf", seed=0), tiny_config(),
+                             policy=policy)
+            assert sim._manager.nominator.mode == mode
+
+    def test_nominator_mode_override_on_m5_hpt(self):
+        opts = M5Options(nominator_mode=HWT_DRIVEN)
+        sim = Simulation(build("mcf", seed=0), tiny_config(),
+                         policy="m5-hpt", m5_options=opts)
+        assert sim._manager.nominator.mode == HWT_DRIVEN
+        assert sim._manager.hwt is not None
+
+    def test_space_saving_algorithm_option(self):
+        opts = M5Options(algorithm="space-saving", num_counters=50, k_hpt=16)
+        sim = Simulation(build("mcf", seed=0), tiny_config(),
+                         policy="m5-hpt", m5_options=opts)
+        assert sim._manager.hpt.capacity == 50

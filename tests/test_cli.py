@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for bench in ("mcf", "redis", "pr", "cachelib"):
+            assert bench in out
+
+
+class TestRun:
+    def test_run_policy(self, capsys):
+        rc = main([
+            "run", "--bench", "mcf", "--policy", "m5-hpt",
+            "--accesses", "100000", "--chunk", "50000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "m5-hpt" in out
+        assert "promoted" in out
+
+    def test_identification_mode_reports_ratio(self, capsys):
+        rc = main([
+            "run", "--bench", "mcf", "--policy", "anb", "--no-migrate",
+            "--accesses", "100000", "--chunk", "50000",
+        ])
+        assert rc == 0
+        assert "access-count ratio" in capsys.readouterr().out
+
+    def test_redis_reports_p99(self, capsys):
+        rc = main([
+            "run", "--bench", "redis", "--policy", "none",
+            "--accesses", "100000", "--chunk", "50000",
+        ])
+        assert rc == 0
+        assert "p99" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_policies(self, capsys):
+        rc = main([
+            "compare", "--bench", "mcf", "--policies", "anb,m5-hpt",
+            "--accesses", "100000", "--chunk", "50000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "anb" in out and "m5-hpt" in out and "norm" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        rc = main([
+            "compare", "--bench", "mcf", "--policies", "tpp2",
+            "--accesses", "100000",
+        ])
+        assert rc == 2
+
+
+class TestProfile:
+    def test_profile_output(self, capsys):
+        rc = main([
+            "profile", "--bench", "redis",
+            "--accesses", "200000", "--chunk", "50000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P(<=  4 words)" in out
+        assert "page character : sparse" in out
+
+
+class TestHwcost:
+    def test_table_printed(self, capsys):
+        assert main(["hwcost"]) == 0
+        out = capsys.readouterr().out
+        assert "33.6x area" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_run_requires_bench(self):
+        with pytest.raises(SystemExit):
+            main(["run"])

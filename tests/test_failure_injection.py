@@ -1,0 +1,160 @@
+"""Failure-injection and edge-condition tests.
+
+These exercise the control-register paths, mid-run reconfiguration,
+and hostile inputs that normal runs never hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import Elector, MonitorSample
+from repro.cxl.controller import CxlController
+from repro.cxl.pac import PageAccessCounter
+from repro.cxl.wac import WordAccessCounter
+from repro.memory.address import PAGE_SIZE, AddressRegion
+from repro.memory.migration import MigrationEngine, PinReason
+from repro.memory.tiers import NodeKind, TieredMemory
+
+BASE = 0x8000_0000
+
+
+def region(pages=32):
+    return AddressRegion(BASE, pages * PAGE_SIZE)
+
+
+def pa_of(pages):
+    return np.uint64(BASE) + np.asarray(pages, dtype=np.uint64) * np.uint64(
+        PAGE_SIZE
+    )
+
+
+class TestProfilerControlPaths:
+    def test_pac_disable_enable_midstream(self):
+        pac = PageAccessCounter(region())
+        pac.observe(pa_of([0]))
+        pac.registers.write("enable", 0)
+        pac.observe(pa_of([0, 0, 0]))
+        pac.registers.write("enable", 1)
+        pac.observe(pa_of([0]))
+        assert pac.counts()[0] == 2
+
+    def test_wac_disable_midstream(self):
+        wac = WordAccessCounter(region())
+        wac.registers.write("enable", 0)
+        wac.observe(pa_of([1]))
+        assert wac.total_accesses == 0
+
+    def test_controller_detach_midstream(self):
+        ctrl = CxlController(region())
+        pac = PageAccessCounter(region())
+        ctrl.attach(pac)
+        ctrl.serve(pa_of([0]))
+        ctrl.detach(pac)
+        ctrl.serve(pa_of([0]))
+        assert pac.total_accesses == 1
+
+    def test_pac_observe_empty_batch(self):
+        pac = PageAccessCounter(region())
+        pac.observe(np.array([], dtype=np.uint64))
+        assert pac.total_accesses == 0
+
+    def test_wac_window_move_between_batches(self):
+        wac = WordAccessCounter(region(64), window_bytes=4 * PAGE_SIZE)
+        wac.observe(pa_of([1]))
+        wac.set_monitor_window(BASE + 8 * PAGE_SIZE)
+        wac.observe(pa_of([9]))
+        assert wac.total_accesses == 1  # counters cleared at the move
+        assert wac.counts().sum() == 1
+
+
+class TestMigrationHostileInputs:
+    def make(self):
+        mem = TieredMemory(ddr_pages=4, cxl_pages=16, num_logical_pages=8)
+        mem.allocate_all(NodeKind.CXL)
+        return mem, MigrationEngine(mem)
+
+    def test_promote_empty(self):
+        _, eng = self.make()
+        assert eng.promote(np.array([], dtype=np.int64)) == 0
+
+    def test_all_pinned_batch(self):
+        mem, eng = self.make()
+        eng.pin(np.arange(8), PinReason.DMA)
+        assert eng.promote(np.arange(8)) == 0
+        assert mem.nr_pages(NodeKind.DDR) == 0
+        assert eng.stats.rejected == 8
+
+    def test_promote_more_than_ddr_and_footprint(self):
+        """Requesting promotion of everything with a tiny DDR: fills
+        DDR, demotes nothing it just promoted, never deadlocks."""
+        mem, eng = self.make()
+        promoted = eng.promote(np.arange(8))
+        assert promoted == 4  # DDR capacity
+        assert mem.nr_pages(NodeKind.DDR) == 4
+
+    def test_demote_everything_when_cxl_full_is_bounded(self):
+        mem = TieredMemory(ddr_pages=8, cxl_pages=4, num_logical_pages=8)
+        # Manually place: 4 on CXL (fills it), 4 on DDR.
+        for i in range(8):
+            node = NodeKind.CXL if i < 4 else NodeKind.DDR
+            pfn = mem.node(node).allocate_frame()
+            mem._frame_of[i] = pfn
+            mem._node_of[i] = mem._NODE_CODE[node]
+        eng = MigrationEngine(mem)
+        # CXL is full: demotion must stop without raising.
+        assert eng.demote(np.arange(4, 8)) == 0
+
+
+class TestElectorEdgeCases:
+    def sample(self, **kw):
+        defaults = dict(nr_pages_ddr=10, nr_pages_cxl=10, bw_ddr=100.0,
+                        bw_cxl=100.0, ddr_free_pages=0)
+        defaults.update(kw)
+        return MonitorSample(**defaults)
+
+    def test_zero_bandwidth_sample(self):
+        e = Elector()
+        d = e.step(0.0, self.sample(bw_ddr=0.0, bw_cxl=0.0))
+        assert d is not None  # no division errors
+
+    def test_always_first_false(self):
+        e = Elector(always_first=False)
+        d = e.step(0.0, self.sample())
+        assert not d.migrate
+
+    def test_epsilon_suppresses_noise(self):
+        e = Elector(improvement_epsilon=0.05)
+        e.step(0.0, self.sample(bw_ddr=100.0, bw_cxl=10.0))
+        # Tiny rise in DDR share: below epsilon, DDR denser -> skip.
+        d = e.step(100.0, self.sample(bw_ddr=100.5, bw_cxl=10.0))
+        assert not d.migrate
+
+    def test_free_ddr_always_migrates(self):
+        e = Elector()
+        e.step(0.0, self.sample())
+        d = e.step(100.0, self.sample(bw_ddr=1.0, bw_cxl=0.5,
+                                      ddr_free_pages=5))
+        assert d.migrate
+
+
+class TestSimulationEdgeCases:
+    def test_single_epoch_run(self):
+        from repro.sim import SimConfig, run_policy
+        from repro.workloads import uniform_workload
+
+        cfg = SimConfig(total_accesses=1000, chunk_size=65_536,
+                        ddr_pages=16, cxl_pages=64, checkpoints=1)
+        result = run_policy(uniform_workload(footprint_pages=32, seed=0), "m5-hpt", cfg)
+        assert result.execution_time_s > 0
+
+    def test_footprint_equal_to_ddr(self):
+        """Everything fits in DDR: migration converges to all-DDR."""
+        from repro.sim import SimConfig, run_policy
+        from repro.workloads import uniform_workload
+
+        cfg = SimConfig(total_accesses=200_000, chunk_size=20_000,
+                        ddr_pages=64, cxl_pages=64, checkpoints=1)
+        result = run_policy(
+            uniform_workload(footprint_pages=64, seed=0), "m5-hpt", cfg
+        )
+        assert result.nr_pages_cxl == 0

@@ -1,0 +1,100 @@
+"""Module-specific tests for the domain workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.kvstore import KV_DENSITY, KV_PAGE_SKEW, make_kv_workload
+from repro.workloads.ml import MODEL_FRACTION, make_liblinear_workload
+from repro.workloads.spec_cpu import ROMS_TIERS, SPEC_DENSITY, make_spec_workload
+from repro.workloads.zipf import with_cold_tail, zipf_popularity
+
+
+def spec(pages=4096, name="t"):
+    return WorkloadSpec(name=name, footprint_pages=pages)
+
+
+class TestKvStore:
+    def test_all_stores_covered(self):
+        assert set(KV_DENSITY) == {"redis", "memcached", "cachelib"}
+        assert set(KV_PAGE_SKEW) == set(KV_DENSITY)
+
+    def test_density_dicts_are_valid_cdfs(self):
+        for store, cdf in KV_DENSITY.items():
+            values = [cdf[n] for n in (4, 8, 16, 32, 48)]
+            assert all(0 <= v <= 1 for v in values), store
+            assert values == sorted(values), store
+
+    def test_redis_sparser_than_cachelib(self):
+        assert KV_DENSITY["redis"][16] > KV_DENSITY["cachelib"][16]
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(ValueError):
+            make_kv_workload("rocksdb", spec())
+
+    def test_word_skew_applied(self):
+        wl = make_kv_workload("redis", spec())
+        assert wl.params.word_skew > 0
+
+
+class TestSpecCpu:
+    def test_name_normalisation(self):
+        """Both 'mcf' and 'mcf_r' resolve."""
+        a = make_spec_workload("mcf", spec(), seed=0)
+        b = make_spec_workload("mcf_r", spec(), seed=0)
+        assert np.array_equal(a.trace(1000), b.trace(1000))
+
+    def test_all_four_benchmarks(self):
+        assert set(SPEC_DENSITY) == {"mcf", "cactubssn", "fotonik3d", "roms"}
+
+    def test_roms_tiers_fraction_sums_to_one(self):
+        assert sum(f for f, _ in ROMS_TIERS) == pytest.approx(1.0)
+
+    def test_roms_tier_ordering(self):
+        heats = [h for _, h in ROMS_TIERS]
+        assert heats == sorted(heats, reverse=True)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            make_spec_workload("gcc", spec())
+
+
+class TestLiblinear:
+    def test_model_pages_dominate_heat(self):
+        wl = make_liblinear_workload(spec(4096), seed=0)
+        pop = np.sort(wl.params.popularity)[::-1]
+        model_pages = max(1, int(4096 * MODEL_FRACTION))
+        # The hottest model_pages pages carry a large share of mass.
+        assert pop[:model_pages].sum() > 0.5
+
+    def test_rotating_phase(self):
+        from repro.workloads.phases import RotatingWorkingSet
+
+        wl = make_liblinear_workload(spec(), seed=0)
+        assert isinstance(wl._phase, RotatingWorkingSet)
+
+
+class TestColdTail:
+    def test_mass_moves_to_active_set(self):
+        pop = zipf_popularity(1000, 0.0)
+        cooled = with_cold_tail(pop, active_fraction=0.3, seed=0)
+        active_mass = np.sort(cooled)[::-1][:300].sum()
+        assert active_mass > 0.98
+
+    def test_full_active_is_identity(self):
+        pop = zipf_popularity(100, 1.0)
+        same = with_cold_tail(pop, active_fraction=1.0)
+        assert np.allclose(same, pop)
+
+    def test_validation(self):
+        pop = zipf_popularity(10, 1.0)
+        with pytest.raises(ValueError):
+            with_cold_tail(pop, active_fraction=0.0)
+        with pytest.raises(ValueError):
+            with_cold_tail(pop, active_fraction=0.5, cold_heat=0.0)
+
+    def test_cools_least_popular_first(self):
+        pop = zipf_popularity(100, 1.0)  # rank-ordered descending
+        cooled = with_cold_tail(pop, active_fraction=0.5, seed=1)
+        # The top half keeps its relative mass ordering.
+        assert (cooled[:50] > cooled[50:].max()).all()

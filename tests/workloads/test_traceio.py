@@ -1,0 +1,104 @@
+"""Tests for trace capture, storage, and replay."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.workloads import (
+    ReplayWorkload,
+    capture,
+    load_trace,
+    save_trace,
+    uniform_workload,
+)
+
+
+class TestCapture:
+    def test_capture_without_filter(self):
+        wl = uniform_workload(footprint_pages=64, seed=1)
+        trace = capture(wl, 5000)
+        assert trace.size == 5000
+        assert trace.dtype == np.uint64
+
+    def test_capture_with_llc_filter_shrinks(self):
+        wl = uniform_workload(footprint_pages=16, seed=1)
+        llc = SetAssociativeCache(capacity_bytes=64 * 512, ways=8)
+        trace = capture(wl, 5000, llc=llc)
+        assert 0 < trace.size < 5000
+
+    def test_capture_matches_direct_trace(self):
+        wl1 = uniform_workload(footprint_pages=64, seed=2)
+        wl2 = uniform_workload(footprint_pages=64, seed=2)
+        assert np.array_equal(capture(wl1, 2000), wl2.trace(2000))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        wl = uniform_workload(footprint_pages=64, seed=3)
+        trace = wl.trace(3000)
+        path = save_trace(tmp_path / "t.npz", trace, wl.spec,
+                          metadata={"note": "test"})
+        loaded, spec, meta = load_trace(path)
+        assert np.array_equal(loaded, trace)
+        assert spec == wl.spec
+        assert meta["note"] == "test"
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        wl = uniform_workload(footprint_pages=8, seed=0)
+        header = {"version": 999, "spec": {}, "metadata": {}}
+        np.savez_compressed(
+            tmp_path / "bad.npz",
+            addresses=wl.trace(10),
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "bad.npz")
+
+
+class TestReplay:
+    def test_replays_exactly(self):
+        wl = uniform_workload(footprint_pages=64, seed=4)
+        trace = wl.trace(1000)
+        replay = ReplayWorkload(trace, wl.spec)
+        assert np.array_equal(replay.trace(1000), trace)
+
+    def test_wraps_around(self):
+        trace = np.arange(10, dtype=np.uint64) << np.uint64(6)
+        replay = ReplayWorkload(trace, uniform_workload(footprint_pages=8).spec)
+        out = replay.trace(25)
+        assert np.array_equal(out[:10], trace)
+        assert np.array_equal(out[10:20], trace)
+
+    def test_restart(self):
+        trace = np.arange(10, dtype=np.uint64) << np.uint64(6)
+        replay = ReplayWorkload(trace, uniform_workload(footprint_pages=8).spec)
+        a = replay.trace(7)
+        replay.restart()
+        b = replay.trace(7)
+        assert np.array_equal(a, b)
+
+    def test_from_file(self, tmp_path):
+        wl = uniform_workload(footprint_pages=32, seed=5)
+        trace = wl.trace(500)
+        path = save_trace(tmp_path / "r.npz", trace, wl.spec)
+        replay = ReplayWorkload.from_file(path)
+        assert np.array_equal(replay.trace(500), trace)
+        assert replay.spec.footprint_pages == 32
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ReplayWorkload(np.empty(0, dtype=np.uint64),
+                           uniform_workload(footprint_pages=8).spec)
+
+    def test_replay_drivable_by_engine(self):
+        """A stored trace can drive a full simulation."""
+        from repro.sim import SimConfig, Simulation
+
+        wl = uniform_workload(footprint_pages=256, seed=6)
+        replay = ReplayWorkload(wl.trace(30_000), wl.spec)
+        cfg = SimConfig(total_accesses=60_000, chunk_size=30_000,
+                        ddr_pages=64, checkpoints=1, migrate=False)
+        result = Simulation(replay, cfg, policy="none").run()
+        assert result.execution_time_s > 0

@@ -1,0 +1,111 @@
+"""Tests for the word-density machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.wordmap import (
+    SPARSITY_THRESHOLDS,
+    WordDensityProfile,
+    WordSelector,
+    addresses_from,
+)
+
+
+class TestWordDensityProfile:
+    def test_sampled_counts_match_cdf(self):
+        targets = {4: 0.5, 8: 0.7, 16: 0.86, 32: 0.93, 48: 0.97}
+        prof = WordDensityProfile(targets)
+        rng = np.random.default_rng(0)
+        counts = prof.sample_counts(50_000, rng)
+        for n, p in targets.items():
+            assert (counts <= n).mean() == pytest.approx(p, abs=0.02)
+
+    def test_counts_in_range(self):
+        prof = WordDensityProfile.dense()
+        rng = np.random.default_rng(1)
+        counts = prof.sample_counts(10_000, rng)
+        assert counts.min() >= 1
+        assert counts.max() <= 64
+
+    def test_dense_factory_mostly_dense(self):
+        prof = WordDensityProfile.dense(residual=0.08)
+        rng = np.random.default_rng(2)
+        counts = prof.sample_counts(20_000, rng)
+        assert (counts > 48).mean() == pytest.approx(0.92, abs=0.02)
+
+    def test_sparse_kv_factory(self):
+        prof = WordDensityProfile.sparse_kv(at_16=0.86)
+        rng = np.random.default_rng(3)
+        counts = prof.sample_counts(20_000, rng)
+        assert (counts <= 16).mean() == pytest.approx(0.86, abs=0.02)
+
+    def test_rejects_decreasing_cdf(self):
+        with pytest.raises(ValueError):
+            WordDensityProfile({4: 0.5, 8: 0.4, 16: 0.6, 32: 0.7, 48: 0.8})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            WordDensityProfile({4: -0.1, 8: 0.4, 16: 0.6, 32: 0.7, 48: 0.8})
+
+
+class TestWordSelector:
+    def test_active_words_distinct(self):
+        sel = WordSelector(seed=0)
+        for page in (0, 17, 12345):
+            for count in (1, 16, 64):
+                words = sel.active_words(page, count)
+                assert len(set(words.tolist())) == count
+                assert words.min() >= 0 and words.max() < 64
+
+    def test_selection_stays_within_active_set(self):
+        sel = WordSelector(seed=1)
+        counts = np.full(10, 8, dtype=np.int64)
+        rng = np.random.default_rng(0)
+        pages = np.repeat(np.arange(10), 100)
+        words = sel.select(pages, counts, rng)
+        for page in range(10):
+            allowed = set(sel.active_words(page, 8).tolist())
+            chosen = set(words[pages == page].tolist())
+            assert chosen <= allowed
+
+    def test_skew_concentrates_on_fewer_words(self):
+        sel = WordSelector(seed=2)
+        counts = np.full(1, 32, dtype=np.int64)
+        pages = np.zeros(20_000, dtype=np.int64)
+        rng = np.random.default_rng(1)
+        flat = sel.select(pages, counts, rng, skew=0.0)
+        rng = np.random.default_rng(1)
+        skewed = sel.select(pages, counts, rng, skew=1.0)
+
+        def top_share(words):
+            _, c = np.unique(words, return_counts=True)
+            c.sort()
+            return c[-4:].sum() / c.sum()
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_deterministic_per_seed(self):
+        a = WordSelector(seed=5).active_words(42, 16)
+        b = WordSelector(seed=5).active_words(42, 16)
+        assert np.array_equal(a, b)
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 1 << 30), st.integers(1, 64))
+    def test_active_words_property(self, page, count):
+        sel = WordSelector(seed=9)
+        words = sel.active_words(page, count)
+        assert len(np.unique(words)) == count
+
+
+class TestAddressesFrom:
+    def test_roundtrip(self):
+        pages = np.array([3, 7], dtype=np.int64)
+        words = np.array([5, 63], dtype=np.int64)
+        pa = addresses_from(pages, words)
+        assert list(pa >> np.uint64(12)) == [3, 7]
+        assert list((pa >> np.uint64(6)) & np.uint64(63)) == [5, 63]
+
+    def test_thresholds_constant(self):
+        assert SPARSITY_THRESHOLDS == (4, 8, 16, 32, 48)

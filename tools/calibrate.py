@@ -1,0 +1,65 @@
+"""Calibration harness: compare per-benchmark statistics against the
+paper's published targets.  Not part of the library API; used while
+tuning the workload generators.
+
+Usage: python tools/calibrate.py [ratio|cdf|sparsity] [bench ...]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import workloads
+from repro.analysis import AccessCdf, from_wac
+from repro.sim import SimConfig, Simulation
+
+BENCHES = workloads.MEMORY_INTENSIVE
+
+
+def ratio_report(benches):
+    print(f"{'bench':10s} {'anb':>6s} {'damon':>6s} {'m5':>6s}  (paper: anb~.21 damon~.29 m5~.72; cactu/foto/mcf high)")
+    for b in benches:
+        row = []
+        for pol in ["anb", "damon", "m5-hpt"]:
+            wl = workloads.build(b, seed=1)
+            cfg = SimConfig(total_accesses=800_000, migrate=False)
+            sim = Simulation(wl, cfg, policy=pol)
+            r = sim.run()
+            row.append(r.access_count_ratio)
+        print(f"{b:10s} {row[0]:6.3f} {row[1]:6.3f} {row[2]:6.3f}")
+
+
+def cdf_report(benches):
+    print(f"{'bench':10s} {'p90/p50':>8s} {'p95/p50':>8s} {'p99/p50':>8s} {'gini':>6s} bottomgap")
+    for b in benches:
+        wl = workloads.build(b, seed=1)
+        cfg = SimConfig(total_accesses=800_000, migrate=False)
+        sim = Simulation(wl, cfg, policy="none")
+        sim.run()
+        counts = sim.pac.counts()
+        cdf = AccessCdf.from_counts(b, counts)
+        s = cdf.skew_summary()
+        print(
+            f"{b:10s} {s['p90_over_p50']:8.2f} {s['p95_over_p50']:8.2f} "
+            f"{s['p99_over_p50']:8.2f} {cdf.gini():6.3f} {cdf.bottom_gap():8.1f}"
+        )
+
+
+def sparsity_report(benches):
+    print(f"{'bench':10s}" + "".join(f"{t:>7d}" for t in (4, 8, 16, 32, 48)))
+    for b in benches:
+        wl = workloads.build(b, seed=1)
+        cfg = SimConfig(total_accesses=800_000, migrate=False)
+        sim = Simulation(wl, cfg, policy="none", enable_wac=True)
+        sim.run()
+        prof = from_wac(b, sim.wac)
+        print(f"{b:10s}" + "".join(f"{prof.at(t):7.2f}" for t in (4, 8, 16, 32, 48)))
+
+
+if __name__ == "__main__":
+    mode = sys.argv[1] if len(sys.argv) > 1 else "ratio"
+    benches = sys.argv[2:] or BENCHES
+    t = time.time()
+    {"ratio": ratio_report, "cdf": cdf_report, "sparsity": sparsity_report}[mode](benches)
+    print(f"[{time.time()-t:.1f}s]")
