@@ -14,6 +14,7 @@ import os
 
 from repro.analysis import render_series, render_table
 from repro.sim import SimConfig
+from repro.sim.sweep import normalized
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -67,10 +68,9 @@ def emit_series(name, title, pairs, precision=3):
 
 def normalized_score(base, result) -> float:
     """Figure 9's metric: performance normalised to no-migration
-    (inverse p99 for latency-sensitive workloads, §7.2)."""
-    if base.p99_latency_us is not None and result.p99_latency_us:
-        return base.p99_latency_us / result.p99_latency_us
-    return base.execution_time_s / result.execution_time_s
+    (inverse p99 for latency-sensitive workloads, §7.2).  Delegates
+    to the sweep module's checked implementation."""
+    return normalized(base, result)
 
 
 def once(benchmark, fn):

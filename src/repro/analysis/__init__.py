@@ -29,6 +29,13 @@ from repro.analysis.figures import (
     write_csv,
 )
 from repro.analysis.tables import print_series, print_table, render_series, render_table
+from repro.analysis.timeline import (
+    migration_totals,
+    occupancy_series,
+    ratio_trajectory,
+    timeline_frame,
+    timeline_series,
+)
 
 __all__ = [
     "AccessCdf",
@@ -54,4 +61,9 @@ __all__ = [
     "export_series",
     "export_sparsity",
     "write_csv",
+    "migration_totals",
+    "occupancy_series",
+    "ratio_trajectory",
+    "timeline_frame",
+    "timeline_series",
 ]

@@ -1,0 +1,77 @@
+"""Epoch-resolution timeline analysis.
+
+The engine's telemetry bus records one ``"epoch"`` event per epoch
+(tier occupancy, traffic split, promotions/demotions, overhead and
+migration time) plus ``"ratio"`` checkpoint events; these land in
+``RunResult.timeline``.  This module turns that event list into the
+column-oriented series the figures and harnesses plot — without
+re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Event = Dict[str, Union[str, int, float]]
+
+
+def timeline_series(
+    timeline: Sequence[Event], field: str, stage: str = "epoch"
+) -> List[float]:
+    """One field of the timeline as an epoch-ordered series.
+
+    Events missing the field are skipped, so sparse stages (e.g.
+    ``"ratio"`` checkpoints) come out dense.
+    """
+    return [
+        float(e[field])
+        for e in timeline
+        if e.get("stage") == stage and field in e
+    ]
+
+
+def timeline_frame(
+    timeline: Sequence[Event], stage: str = "epoch"
+) -> Dict[str, List[float]]:
+    """Pivot one stage's events into ``{field: series}`` columns.
+
+    Only fields present in every event of the stage are kept, so all
+    returned columns have equal length (indexable by epoch position).
+    """
+    events = [e for e in timeline if e.get("stage") == stage]
+    if not events:
+        return {}
+    fields = set(events[0])
+    for e in events[1:]:
+        fields &= set(e)
+    fields.discard("stage")
+    return {
+        f: [float(e[f]) for e in events] for f in sorted(fields)
+    }
+
+
+def occupancy_series(timeline: Sequence[Event]) -> Dict[str, List[float]]:
+    """DDR/CXL resident-page counts per epoch (the tiering trajectory)."""
+    frame = timeline_frame(timeline)
+    return {
+        "epoch": frame.get("epoch", []),
+        "t_s": frame.get("t_s", []),
+        "nr_pages_ddr": frame.get("nr_pages_ddr", []),
+        "nr_pages_cxl": frame.get("nr_pages_cxl", []),
+    }
+
+
+def migration_totals(timeline: Sequence[Event]) -> Dict[str, float]:
+    """Aggregate promotions/demotions and migration time over the run."""
+    frame = timeline_frame(timeline)
+    return {
+        "promoted": sum(frame.get("promoted", [])),
+        "demoted": sum(frame.get("demoted", [])),
+        "migration_us": sum(frame.get("migration_us", [])),
+        "overhead_us": sum(frame.get("overhead_us", [])),
+    }
+
+
+def ratio_trajectory(timeline: Sequence[Event]) -> List[float]:
+    """The access-count-ratio checkpoints, in measurement order."""
+    return timeline_series(timeline, "ratio", stage="ratio")

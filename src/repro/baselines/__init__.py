@@ -1,7 +1,14 @@
 """CPU-driven page-migration baselines (paper §2.1): ANB, DAMON, full
 PTE scanning, and PEBS-style sampling, plus the no-migration control."""
 
-from repro.baselines.base import MigrationPolicy, NoMigration, PolicyCosts
+from repro.baselines.base import (
+    EpochPolicy,
+    EpochView,
+    MigrationPolicy,
+    NoMigration,
+    PolicyCosts,
+    PolicyDecision,
+)
 from repro.baselines.anb import AutoNumaBalancing
 from repro.baselines.damon import Damon, Region
 from repro.baselines.ptescan import PteScanner
@@ -9,9 +16,12 @@ from repro.baselines.pebs import PebsSampler
 from repro.baselines.tpp import Tpp
 
 __all__ = [
+    "EpochPolicy",
+    "EpochView",
     "MigrationPolicy",
     "NoMigration",
     "PolicyCosts",
+    "PolicyDecision",
     "AutoNumaBalancing",
     "Damon",
     "Region",

@@ -25,7 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.baselines.anb import FAULT_COST_US, UNMAP_COST_US
-from repro.baselines.base import MigrationPolicy
+from repro.baselines.base import EpochView, MigrationPolicy
 from repro.memory.page_table import PageTable
 from repro.memory.tiers import NodeKind, TieredMemory
 from repro.memory.tlb import TlbShootdownModel
@@ -139,3 +139,13 @@ class Tpp(MigrationPolicy):
         """
         target_free = int(self.memory.ddr.capacity_pages * self.demotion_watermark)
         return max(0, target_free - self.memory.ddr.free_pages)
+
+    def demotion_victims(self, view: EpochView) -> np.ndarray:
+        """kswapd-style proactive demotion: the coldest DDR-resident
+        pages (per MGLRU) needed to restore the free watermark, judged
+        after this epoch's promotions landed."""
+        need = self.demotion_candidates()
+        if need <= 0 or view.mglru is None:
+            return np.empty(0, dtype=np.int64)
+        ddr_pages = self.memory.pages_on(NodeKind.DDR)
+        return view.mglru.coldest(need, among=ddr_pages)

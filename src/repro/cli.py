@@ -3,9 +3,12 @@
 Commands:
 
 * ``list`` — the benchmark registry (Table 3 + Figure 4 extras);
-* ``run`` — one benchmark under one policy, with a summary;
+* ``run`` — one benchmark under one policy, with a summary (pass
+  ``--timeline FILE`` for an epoch-resolution JSONL trace);
 * ``compare`` — several policies on one benchmark, normalised to the
   no-migration baseline;
+* ``sweep`` — a benchmark × policy matrix, parallelised across
+  worker processes with ``--jobs``;
 * ``profile`` — PAC/WAC offline profile (page heat + word sparsity);
 * ``hwcost`` — the Table 4 tracker cost model.
 """
@@ -13,11 +16,20 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import functools
 from typing import List, Optional
 
 from repro.analysis import AccessCdf, from_wac, print_table
 from repro.core import hwcost
-from repro.sim import ALL_POLICIES, SimConfig, Simulation
+from repro.sim import (
+    ALL_POLICIES,
+    JsonlSink,
+    SimConfig,
+    Simulation,
+    TelemetryBus,
+    matrix_means,
+    run_matrix,
+)
 from repro.workloads import registry
 
 
@@ -51,8 +63,22 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     workload = registry.build(args.bench, seed=args.seed)
-    sim = Simulation(workload, _config_from(args), policy=args.policy)
+    telemetry = None
+    if getattr(args, "timeline", None):
+        try:
+            open(args.timeline, "w").close()  # fail fast on a bad path
+        except OSError as exc:
+            print(f"cannot write timeline file: {exc}")
+            return 2
+        telemetry = TelemetryBus([JsonlSink(args.timeline)])
+    sim = Simulation(
+        workload, _config_from(args), policy=args.policy, telemetry=telemetry
+    )
     result = sim.run()
+    if telemetry is not None:
+        telemetry.close()
+        print(f"epoch timeline written to {args.timeline} "
+              f"({len(result.timeline)} events)")
     print(f"benchmark     : {result.benchmark}")
     print(f"policy        : {result.policy}")
     print(f"execution time: {result.execution_time_s:.2f} s "
@@ -93,6 +119,45 @@ def cmd_compare(args) -> int:
     print_table(
         f"{args.bench}: performance normalised to no migration",
         ["policy", "exec_s", "norm", "promoted", "demoted"],
+        rows,
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    benches = [b.strip() for b in args.benches.split(",") if b.strip()]
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in ALL_POLICIES]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}")
+        return 2
+    unknown_benches = [b for b in benches if b not in registry.names()]
+    if unknown_benches:
+        print(f"unknown benchmarks: {', '.join(unknown_benches)}")
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs})")
+        return 2
+    # ``functools.partial`` over SimConfig keeps the factory picklable
+    # for the worker processes (a closure over ``args`` would not be).
+    factory = functools.partial(
+        SimConfig,
+        total_accesses=args.accesses,
+        chunk_size=args.chunk,
+        trace_subsample=args.subsample,
+        migrate=not getattr(args, "no_migrate", False),
+        checkpoints=getattr(args, "checkpoints", 1) or 1,
+    )
+    matrix = run_matrix(
+        benches, policies, factory, seed=args.seed, jobs=args.jobs
+    )
+    rows = [[bench] + [matrix[bench][p] for p in policies] for bench in benches]
+    means = matrix_means(matrix)
+    rows.append(["mean"] + [means[p] for p in policies])
+    print_table(
+        f"sweep ({len(benches)}x{len(policies)} cells, jobs={args.jobs}): "
+        "performance normalised to no migration",
+        ["bench"] + policies,
         rows,
     )
     return 0
@@ -179,10 +244,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-migrate", action="store_true",
                      help="identification-only mode (§4.1 S1)")
     run.add_argument("--checkpoints", type=int, default=10)
+    run.add_argument("--timeline", default=None, metavar="FILE",
+                     help="write the per-epoch telemetry timeline as JSONL")
 
     compare = sub.add_parser("compare", help="compare policies")
     add_run_args(compare, with_policy=False)
     compare.add_argument("--policies", default="anb,damon,m5-hpt")
+
+    sweep = sub.add_parser(
+        "sweep", help="benchmark x policy matrix (parallel with --jobs)"
+    )
+    sweep.add_argument("--benches", default="mcf,roms",
+                       help="comma-separated benchmark names")
+    sweep.add_argument("--policies", default="anb,damon,m5-hpt")
+    sweep.add_argument("--accesses", type=int, default=1_000_000)
+    sweep.add_argument("--chunk", type=int, default=16_384)
+    sweep.add_argument("--subsample", type=float, default=64.0)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the matrix cells")
+    sweep.add_argument("--no-migrate", action="store_true",
+                       help="identification-only mode (§4.1 S1)")
 
     profile = sub.add_parser("profile", help="PAC/WAC offline profile")
     add_run_args(profile, with_policy=False)
@@ -202,6 +284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "compare": cmd_compare,
+        "sweep": cmd_sweep,
         "profile": cmd_profile,
         "report": cmd_report,
         "hwcost": cmd_hwcost,

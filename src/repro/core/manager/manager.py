@@ -11,8 +11,11 @@ pages are comparable (§7.2, Redis discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.baselines.base import EpochView, PolicyDecision
 from repro.core.manager.elector import Elector, ElectorDecision
 from repro.core.manager.monitor import Monitor
 from repro.core.manager.nominator import HPT_ONLY, Nominator
@@ -62,6 +65,9 @@ class M5Manager:
         batch_limit: Optional[int] = None,
         dry_run: bool = False,
     ):
+        #: EpochPolicy identifier; the Simulation overwrites it with
+        #: the concrete registry name (m5-hpt / m5-hwt / m5-hpt+hwt).
+        self.name = "m5"
         self.memory = memory
         self.monitor = Monitor(memory)
         self.nominator = nominator if nominator is not None else Nominator(HPT_ONLY)
@@ -111,3 +117,36 @@ class M5Manager:
                 report = self.promoter.promote(nomination.pfns)
                 result.promoted = report.promoted
         return result
+
+    # ------------------------------------------------------------------
+    # EpochPolicy protocol (the simulation engine's pipeline interface)
+
+    def on_epoch(self, view: EpochView) -> PolicyDecision:
+        """One pipeline epoch: run :meth:`step` against the view's
+        clock.  Promotions go through the in-kernel Promoter inside
+        the step (M5's migration path, §5.2 ④), so the decision
+        reports them as already applied instead of returning
+        candidates for the engine."""
+        step = self.step(view.now_s)
+        return PolicyDecision(
+            overhead_us=step.overhead_us,
+            nominated=step.nominated,
+            promoted=step.promoted,
+        )
+
+    def demotion_victims(self, view: EpochView) -> np.ndarray:
+        """M5 has no proactive demotion: the kernel evicts an MGLRU
+        victim per promotion once DDR fills (handled by the engine)."""
+        return np.empty(0, dtype=np.int64)
+
+    @property
+    def hot_pfns(self) -> List[int]:
+        """The accumulated nomination record, as the §4.1 hot-page
+        list (PFNs in first-nomination order)."""
+        return list(self.nominated_history)
+
+    def overhead_events(self) -> Dict[str, float]:
+        """Per-event CPU cost breakdown (µs)."""
+        if self.cpu_overhead_us <= 0.0:
+            return {}
+        return {"manager_activation": self.cpu_overhead_us}

@@ -14,7 +14,21 @@ from repro.sim.engine import (
     run_policy,
 )
 from repro.sim.perf import EpochPerf, PerformanceModel
-from repro.sim.sweep import matrix_means, normalized, run_matrix, run_one
+from repro.sim.sweep import (
+    cell_seed,
+    collect_matrix,
+    matrix_means,
+    normalized,
+    run_matrix,
+    run_one,
+)
+from repro.sim.telemetry import (
+    JsonlSink,
+    RingBufferSink,
+    TelemetryBus,
+    TelemetrySink,
+    read_jsonl,
+)
 
 __all__ = [
     "SimConfig",
@@ -28,8 +42,15 @@ __all__ = [
     "run_policy",
     "EpochPerf",
     "PerformanceModel",
+    "cell_seed",
+    "collect_matrix",
     "matrix_means",
     "normalized",
     "run_matrix",
     "run_one",
+    "JsonlSink",
+    "RingBufferSink",
+    "TelemetryBus",
+    "TelemetrySink",
+    "read_jsonl",
 ]

@@ -1,17 +1,37 @@
-"""The simulation engine: trace → tiers → CXL controller → policy.
+"""The simulation engine: a per-epoch pipeline over pluggable policies.
 
-One :class:`Simulation` reproduces the paper's run methodology:
+One :class:`Simulation` reproduces the paper's run methodology as a
+fixed pipeline of stages executed once per epoch::
 
-1. all application pages are allocated on CXL DRAM (the §4.1/§7
-   cgroup binding);
-2. the workload's address stream is translated through the page map;
-   CXL-bound requests pass through the controller, where PAC (always),
-   WAC (optionally), and the M5 trackers (when M5 is the policy) snoop
-   every address;
-3. the active page-migration policy observes the epoch and may promote
-   pages; once DDR is full every promotion demotes an MGLRU victim;
-4. the performance model converts tier hit counts, policy CPU
-   overhead, and migration work into simulated time.
+    trace → translate → snoop → policy → migrate → perf → checkpoint
+
+1. **trace** — the workload emits the epoch's address chunk;
+2. **translate** — addresses pass through the page map; the tiers
+   count the epoch's traffic (all application pages start on CXL
+   DRAM, the §4.1/§7 cgroup binding);
+3. **snoop** — CXL-bound requests pass through the controller, where
+   PAC (always), WAC (optionally), and the M5 trackers (when M5 is
+   the policy) snoop every address; MGLRU records recency;
+4. **policy** — the active page-migration policy observes the epoch
+   through the uniform :class:`~repro.baselines.base.EpochPolicy`
+   interface and returns a
+   :class:`~repro.baselines.base.PolicyDecision`;
+5. **migrate** — the engine applies the decision: promotions first
+   (once DDR is full every promotion demotes an MGLRU victim), then
+   the policy's proactive watermark demotions;
+6. **perf** — the performance model converts tier hit counts, policy
+   CPU overhead, and migration work into simulated time;
+7. **checkpoint** — in identification-only mode, the access-count
+   ratio is snapshotted at the configured measurement points.
+
+CPU-driven baselines and the M5 manager flow through the *same*
+policy stage — there is no per-family branching in the loop — so a
+new policy only needs to implement ``EpochPolicy`` to plug in.
+
+Stages publish per-epoch events (tier occupancy, promotions and
+demotions, policy overhead, migration time, ratio checkpoints) to a
+:class:`~repro.sim.telemetry.TelemetryBus`; a ring-buffer sink is
+attached by default and surfaces as ``RunResult.timeline``.
 
 ``config.migrate = False`` selects the identification-only mode
 (§4.1 S1): policies build their hot-page lists but nothing moves, so
@@ -28,9 +48,12 @@ import numpy as np
 from repro.baselines import (
     AutoNumaBalancing,
     Damon,
+    EpochPolicy,
+    EpochView,
     MigrationPolicy,
     NoMigration,
     PebsSampler,
+    PolicyDecision,
     PteScanner,
     Tpp,
 )
@@ -52,7 +75,8 @@ from repro.memory.migration import MigrationCostModel, MigrationEngine
 from repro.memory.mglru import MultiGenLru
 from repro.memory.tiers import NodeKind, TieredMemory
 from repro.sim.config import SimConfig
-from repro.sim.perf import PerformanceModel
+from repro.sim.perf import EpochPerf, PerformanceModel
+from repro.sim.telemetry import RingBufferSink, TelemetryBus
 from repro.workloads.base import SyntheticWorkload
 
 #: Registry-visible policy names.
@@ -99,6 +123,10 @@ class RunResult:
     nr_pages_cxl: int
     overhead_events: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Epoch-resolution telemetry events (from the run's ring-buffer
+    #: sink): tier occupancy, promotions/demotions, overhead and
+    #: migration time per epoch, plus ratio checkpoints.
+    timeline: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def access_count_ratio(self) -> Optional[float]:
@@ -106,6 +134,10 @@ class RunResult:
         if not self.ratio_checkpoints:
             return None
         return float(np.mean(self.ratio_checkpoints))
+
+    def timeline_events(self, stage: str) -> List[Dict[str, float]]:
+        """The timeline filtered to one pipeline stage's events."""
+        return [e for e in self.timeline if e.get("stage") == stage]
 
 
 def access_count_ratio(
@@ -131,6 +163,34 @@ def access_count_ratio(
     return k_access / top if top > 0 else 0.0
 
 
+@dataclass
+class _EpochState:
+    """Mutable pipeline state threaded through the stages.
+
+    Cross-epoch fields (clock, trace budget, migration-time baseline,
+    duration estimate, ratio list) persist for the whole run; the
+    per-epoch fields are overwritten by each epoch's stages.
+    """
+
+    # run-scoped
+    now_s: float = 0.0
+    remaining: int = 0
+    epoch: int = 0
+    migration_us_prev: float = 0.0
+    epoch_s_estimate: float = 0.0
+    ratios: List[float] = field(default_factory=list)
+    # epoch-scoped
+    chunk: Optional[np.ndarray] = None
+    lpages: Optional[np.ndarray] = None
+    phys: Optional[np.ndarray] = None
+    view: Optional[EpochView] = None
+    decision: Optional[PolicyDecision] = None
+    promoted_before: int = 0
+    demoted_before: int = 0
+    migration_us: float = 0.0
+    perf: Optional[EpochPerf] = None
+
+
 class Simulation:
     """One benchmark run under one page-migration policy.
 
@@ -141,6 +201,12 @@ class Simulation:
         m5_options: M5 stack configuration (M5 policies only).
         enable_wac: attach a WAC to the controller (needed for the
             sparsity experiments; off by default for speed).
+        telemetry: a :class:`TelemetryBus` to publish per-epoch events
+            to.  A fresh bus is created when omitted; either way a
+            ring-buffer sink is attached so ``RunResult.timeline`` is
+            always populated.
+        timeline_capacity: ring-buffer size for the default timeline
+            sink.
     """
 
     def __init__(
@@ -150,6 +216,8 @@ class Simulation:
         policy: str = "none",
         m5_options: Optional[M5Options] = None,
         enable_wac: bool = False,
+        telemetry: Optional[TelemetryBus] = None,
+        timeline_capacity: int = 4096,
     ):
         self.workload = workload
         self.config = config if config is not None else SimConfig()
@@ -157,6 +225,8 @@ class Simulation:
             raise ValueError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")
         self.policy_name = policy
         self.m5_options = m5_options if m5_options is not None else M5Options()
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        self._timeline = self.telemetry.attach(RingBufferSink(timeline_capacity))
 
         spec = workload.spec
         self.memory = TieredMemory(
@@ -190,6 +260,17 @@ class Simulation:
         else:
             self._manager = self._make_m5(policy)
         self.perf = PerformanceModel(self.config, spec)
+        #: The pipeline's stage sequence; each stage is a callable
+        #: ``stage(policy, state)`` run once per epoch, in order.
+        self.stages = (
+            self._stage_trace,
+            self._stage_translate,
+            self._stage_snoop,
+            self._stage_policy,
+            self._stage_migrate,
+            self._stage_perf,
+            self._stage_checkpoint,
+        )
         self.result: Optional[RunResult] = None
 
     # ------------------------------------------------------------------
@@ -253,7 +334,7 @@ class Simulation:
             max_period_s=opts.max_period_s,
             improvement_epsilon=opts.improvement_epsilon,
         )
-        return M5Manager(
+        manager = M5Manager(
             self.memory,
             self.engine,
             hpt=hpt,
@@ -263,90 +344,150 @@ class Simulation:
             batch_limit=self.config.migration_batch,
             dry_run=not self.config.migrate,
         )
+        manager.name = name
+        return manager
 
     # ------------------------------------------------------------------
 
     @property
+    def epoch_policy(self) -> EpochPolicy:
+        """The active policy behind the pipeline's uniform interface.
+
+        Resolved lazily so callers that swap ``_manager`` (custom M5
+        stacks, e.g. ``examples/policy_design.py``) are honoured.
+        """
+        return self._manager if self._manager is not None else self._baseline
+
+    @property
     def hot_pfns(self) -> List[int]:
-        if self._manager is not None:
-            return list(self._manager.nominated_history)
-        return list(self._baseline.hot_pfns)
+        return list(self.epoch_policy.hot_pfns)
 
     def _k_cap(self) -> int:
         """The paper's K cap: ~1/16 of the footprint (§4.1)."""
         return max(1, self.workload.spec.footprint_pages // 16)
 
+    # ------------------------------------------------------------------
+    # pipeline stages (each runs once per epoch, in `self.stages` order)
+
+    def _stage_trace(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Emit the epoch's address chunk from the workload."""
+        take = min(st.remaining, self.config.chunk_size)
+        st.remaining -= take
+        st.chunk = self.workload.chunk(take)
+        st.lpages = (st.chunk >> np.uint64(PAGE_SHIFT)).astype(np.int64)
+
+    def _stage_translate(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Translate virtual addresses; tiers count the traffic."""
+        self.memory.begin_epoch(1.0)
+        self.memory.record_epoch_accesses(st.lpages)
+        st.phys = self.memory.translate(st.chunk)
+
+    def _stage_snoop(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """CXL controller (PAC/WAC/trackers) and MGLRU observe."""
+        self.controller.serve(st.phys)
+        self.mglru.record_accesses(st.lpages)
+
+    def _stage_policy(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """The policy observes the epoch and decides."""
+        st.view = EpochView(
+            epoch=st.epoch,
+            lpages=st.lpages,
+            now_s=st.now_s,
+            epoch_s=st.epoch_s_estimate,
+            migrate=self.config.migrate,
+            batch_limit=self.config.migration_batch,
+            memory=self.memory,
+            mglru=self.mglru,
+        )
+        st.promoted_before = self.engine.stats.promoted
+        st.demoted_before = self.engine.stats.demoted
+        st.decision = policy.on_epoch(st.view)
+        if self.telemetry.active:
+            self.telemetry.publish(
+                "policy",
+                st.epoch,
+                st.now_s,
+                overhead_us=st.decision.overhead_us,
+                nominated=st.decision.nominated,
+            )
+
+    def _stage_migrate(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Apply the decision: promotions, then watermark demotions."""
+        if st.view.migrate:
+            if st.decision.promotions.size:
+                self.engine.promote(st.decision.promotions)
+            victims = policy.demotion_victims(st.view)
+            if victims.size:
+                self.engine.demote(victims)
+        self.mglru.age()
+        promoted = self.engine.stats.promoted - st.promoted_before
+        demoted = self.engine.stats.demoted - st.demoted_before
+        if self.telemetry.active and (promoted or demoted):
+            self.telemetry.publish(
+                "migrate", st.epoch, st.now_s, promoted=promoted, demoted=demoted
+            )
+
+    def _stage_perf(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Convert the epoch's traffic and overheads into time."""
+        st.migration_us = self.engine.stats.time_us - st.migration_us_prev
+        st.migration_us_prev = self.engine.stats.time_us
+        n_ddr = self.memory.ddr.accesses_this_epoch
+        n_cxl = self.memory.cxl.accesses_this_epoch
+        st.perf = self.perf.record_epoch(
+            n_ddr, n_cxl, st.decision.overhead_us, st.migration_us
+        )
+        st.now_s += st.perf.total_s
+        st.epoch_s_estimate = st.perf.total_s
+        if self.telemetry.active:
+            self.telemetry.publish(
+                "epoch",
+                st.epoch,
+                st.now_s,
+                epoch_s=st.perf.total_s,
+                n_ddr=n_ddr,
+                n_cxl=n_cxl,
+                nr_pages_ddr=self.memory.nr_pages(NodeKind.DDR),
+                nr_pages_cxl=self.memory.nr_pages(NodeKind.CXL),
+                promoted=self.engine.stats.promoted - st.promoted_before,
+                demoted=self.engine.stats.demoted - st.demoted_before,
+                overhead_us=st.decision.overhead_us,
+                migration_us=st.migration_us,
+            )
+
+    def _stage_checkpoint(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Snapshot the access-count ratio at measurement points."""
+        if st.epoch not in self._checkpoint_epochs or self.config.migrate:
+            return
+        ratio = access_count_ratio(self.pac, policy.hot_pfns, self._k_cap())
+        st.ratios.append(ratio)
+        if self.telemetry.active:
+            self.telemetry.publish("ratio", st.epoch, st.now_s, ratio=ratio)
+
+    # ------------------------------------------------------------------
+
     def run(self) -> RunResult:
         cfg = self.config
         spec = self.workload.spec
-        now_s = 0.0
-        remaining = cfg.total_accesses
-        checkpoint_epochs = set(
+        policy = self.epoch_policy
+        self._checkpoint_epochs = set(
             np.linspace(1, cfg.num_epochs, cfg.checkpoints, dtype=int).tolist()
         )
-        ratios: List[float] = []
-        epoch = 0
-        migration_us_prev = 0.0
-        # Nominal epoch duration estimate for the first epoch; later
-        # epochs use the previous epoch's measured duration.
-        epoch_s_estimate = (
-            cfg.chunk_size
-            * (self.perf.compute_per_access_s + self.perf.cxl_stall_s)
-            * self.perf.dilation
-            / self.perf.cores
+        st = _EpochState(
+            remaining=cfg.total_accesses,
+            # Nominal epoch duration estimate for the first epoch;
+            # later epochs use the previous epoch's measured duration.
+            epoch_s_estimate=(
+                cfg.chunk_size
+                * (self.perf.compute_per_access_s + self.perf.cxl_stall_s)
+                * self.perf.dilation
+                / self.perf.cores
+            ),
         )
-        while remaining > 0:
-            epoch += 1
-            take = min(remaining, cfg.chunk_size)
-            remaining -= take
-            chunk = self.workload.chunk(take)
-            lpages = (chunk >> np.uint64(PAGE_SHIFT)).astype(np.int64)
+        while st.remaining > 0:
+            st.epoch += 1
+            for stage in self.stages:
+                stage(policy, st)
 
-            self.memory.begin_epoch(1.0)
-            self.memory.record_epoch_accesses(lpages)
-            pa = self.memory.translate(chunk)
-            self.controller.serve(pa)
-            self.mglru.record_accesses(lpages)
-
-            overhead_us = 0.0
-            if self._baseline is not None:
-                self._baseline.on_epoch(lpages, now_s, epoch_s_estimate)
-                overhead_us = self._baseline.epoch_overhead_us
-                if cfg.migrate and self.policy_name != "none":
-                    candidates = self._baseline.migration_candidates(
-                        cfg.migration_batch
-                    )
-                    if candidates.size:
-                        self.engine.promote(candidates)
-                    if isinstance(self._baseline, Tpp):
-                        # TPP demotes proactively to keep free headroom.
-                        need = self._baseline.demotion_candidates()
-                        if need > 0:
-                            ddr_pages = self.memory.pages_on(NodeKind.DDR)
-                            victims = self.mglru.coldest(need, among=ddr_pages)
-                            if victims.size:
-                                self.engine.demote(victims)
-            else:
-                step = self._manager.step(now_s)
-                overhead_us = step.overhead_us
-            self.mglru.age()
-
-            migration_us = self.engine.stats.time_us - migration_us_prev
-            migration_us_prev = self.engine.stats.time_us
-            n_ddr = self.memory.ddr.accesses_this_epoch
-            n_cxl = self.memory.cxl.accesses_this_epoch
-            perf = self.perf.record_epoch(n_ddr, n_cxl, overhead_us, migration_us)
-            now_s += perf.total_s
-            epoch_s_estimate = perf.total_s
-
-            if epoch in checkpoint_epochs and not cfg.migrate:
-                ratios.append(
-                    access_count_ratio(self.pac, self.hot_pfns, self._k_cap())
-                )
-
-        events: Dict[str, float] = {}
-        if self._baseline is not None:
-            events = dict(self._baseline.costs.events)
         self.result = RunResult(
             benchmark=spec.name,
             policy=self.policy_name,
@@ -358,12 +499,13 @@ class Simulation:
                 self.perf.p99_latency_us() if spec.latency_sensitive else None
             ),
             hot_pfns=self.hot_pfns,
-            ratio_checkpoints=ratios,
+            ratio_checkpoints=st.ratios,
             promoted=self.engine.stats.promoted,
             demoted=self.engine.stats.demoted,
             nr_pages_ddr=self.memory.nr_pages(NodeKind.DDR),
             nr_pages_cxl=self.memory.nr_pages(NodeKind.CXL),
-            overhead_events=events,
+            overhead_events=policy.overhead_events(),
+            timeline=self._timeline.events,
         )
         return self.result
 
@@ -374,6 +516,7 @@ def run_policy(
     config: Optional[SimConfig] = None,
     m5_options: Optional[M5Options] = None,
     enable_wac: bool = False,
+    telemetry: Optional[TelemetryBus] = None,
 ) -> RunResult:
     """Convenience one-shot runner."""
     sim = Simulation(
@@ -382,5 +525,6 @@ def run_policy(
         policy=policy,
         m5_options=m5_options,
         enable_wac=enable_wac,
+        telemetry=telemetry,
     )
     return sim.run()

@@ -1,17 +1,45 @@
-"""Experiment sweep utilities.
+"""Experiment sweep utilities: the parallel benchmark × policy matrix.
 
-Thin orchestration helpers shared by the benchmark harnesses, the CLI,
-and user scripts: run a benchmark × policy matrix, normalise against
-the no-migration baseline, and collect results keyed for export.
+Orchestration shared by the benchmark harnesses, the CLI, and user
+scripts: run a benchmark × policy matrix (serially or across worker
+processes), normalise against the no-migration baseline, and collect
+results keyed for export.
+
+Determinism: every cell's outcome is a pure function of ``(bench,
+policy, seed, config)`` — the per-cell seed is derived up front with
+:func:`cell_seed`, never from scheduling order — so ``jobs=N``
+produces bit-identical matrices for any ``N``.  The ``"none"``
+baseline runs once per benchmark and its :class:`RunResult` is reused
+both for normalisation and for the ``"none"`` matrix cell when that
+policy is requested explicitly.
+
+Note for parallel runs: ``config_factory`` (and ``m5_options``) cross
+a process boundary, so they must be picklable — a module-level
+function or a ``functools.partial`` over :class:`SimConfig` both
+work; a lambda or closure does not.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.config import SimConfig
 from repro.sim.engine import M5Options, RunResult, Simulation
 from repro.workloads import registry
+
+
+def cell_seed(seed: int, bench: str) -> int:
+    """Deterministic per-benchmark seed for one matrix row.
+
+    Derived from the matrix seed and the benchmark name only — every
+    policy in a row (including the ``"none"`` baseline it is
+    normalised against) sees the same workload trace, and the value
+    is independent of execution order, so serial and parallel sweeps
+    agree bit-for-bit.
+    """
+    return (int(seed) + zlib.crc32(bench.encode())) & 0x7FFFFFFF
 
 
 def run_one(
@@ -32,10 +60,70 @@ def run_one(
 
 def normalized(base: RunResult, result: RunResult) -> float:
     """Figure 9's score: inverse p99 for latency-sensitive workloads,
-    inverse execution time otherwise."""
-    if base.p99_latency_us is not None and result.p99_latency_us:
+    inverse execution time otherwise.
+
+    A missing p99 (``None`` — the workload is not latency-sensitive)
+    falls back to execution time; a *measured* p99 of exactly zero is
+    a corrupt result and raises instead of silently switching metric.
+    """
+    if base.p99_latency_us is not None and result.p99_latency_us is not None:
+        if base.p99_latency_us == 0.0 or result.p99_latency_us == 0.0:
+            raise ValueError(
+                "p99 latency measured as 0.0 "
+                f"(base={base.p99_latency_us!r}, result={result.p99_latency_us!r}); "
+                "a zero measurement is invalid — use p99=None for "
+                "workloads without a latency metric"
+            )
         return base.p99_latency_us / result.p99_latency_us
     return base.execution_time_s / result.execution_time_s
+
+
+#: One matrix cell: (bench, policy, config, seed, m5_options).
+_Cell = Tuple[str, str, SimConfig, int, Optional[M5Options]]
+
+
+def _run_cell(cell: _Cell) -> RunResult:
+    """Process-pool entry point for one matrix cell."""
+    bench, policy, config, seed, m5_options = cell
+    return run_one(bench, policy, config, seed=seed, m5_options=m5_options)
+
+
+def collect_matrix(
+    benches: Iterable[str],
+    policies: Iterable[str],
+    config_factory: Callable[[], SimConfig],
+    seed: int = 1,
+    m5_options: Optional[M5Options] = None,
+    jobs: int = 1,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Run every (bench, policy) pair; returns the raw results.
+
+    The ``"none"`` baseline is added to every row exactly once (and
+    reused for the ``"none"`` cell if requested).  ``jobs > 1`` fans
+    the cells out over a :class:`ProcessPoolExecutor`; results are
+    keyed by cell, so scheduling order cannot change the outcome.
+    """
+    benches = list(benches)
+    policies = list(policies)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cells: List[_Cell] = []
+    for bench in benches:
+        row_seed = cell_seed(seed, bench)
+        row_policies = ["none"] + [p for p in policies if p != "none"]
+        for policy in row_policies:
+            cells.append((bench, policy, config_factory(), row_seed, m5_options))
+
+    if jobs == 1 or len(cells) <= 1:
+        outcomes = [_run_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_run_cell, cells))
+
+    results: Dict[str, Dict[str, RunResult]] = {b: {} for b in benches}
+    for (bench, policy, _, _, _), outcome in zip(cells, outcomes):
+        results[bench][policy] = outcome
+    return results
 
 
 def run_matrix(
@@ -44,21 +132,26 @@ def run_matrix(
     config_factory: Callable[[], SimConfig],
     seed: int = 1,
     m5_options: Optional[M5Options] = None,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Run every (bench, policy) pair; returns normalised scores.
 
-    Each benchmark also runs the ``none`` baseline once; scores are
-    normalised to it.  Results: ``matrix[bench][policy] = score``.
+    Each benchmark also runs the ``none`` baseline exactly once;
+    scores are normalised to it (the ``"none"`` cell, if requested,
+    reuses the baseline run and scores 1.0 by construction).
+    Results: ``matrix[bench][policy] = score``.
     """
+    policies = list(policies)
+    results = collect_matrix(
+        benches, policies, config_factory, seed=seed,
+        m5_options=m5_options, jobs=jobs,
+    )
     matrix: Dict[str, Dict[str, float]] = {}
-    for bench in benches:
-        base = run_one(bench, "none", config_factory(), seed=seed)
-        row: Dict[str, float] = {}
-        for policy in policies:
-            result = run_one(bench, policy, config_factory(), seed=seed,
-                             m5_options=m5_options)
-            row[policy] = normalized(base, result)
-        matrix[bench] = row
+    for bench, row_results in results.items():
+        base = row_results["none"]
+        matrix[bench] = {
+            policy: normalized(base, row_results[policy]) for policy in policies
+        }
     return matrix
 
 

@@ -1,0 +1,147 @@
+"""Per-epoch telemetry bus for the simulation pipeline.
+
+Every pipeline stage can publish structured events while a run is in
+flight — tier occupancy, promotions/demotions, access-count-ratio
+checkpoints, policy overhead, migration time — and any number of
+*sinks* consume them.  Two sinks ship with the bus:
+
+* :class:`RingBufferSink` — bounded in-memory history; the engine
+  attaches one by default and copies it into ``RunResult.timeline``
+  so analysis/figures get epoch-resolution data without re-running;
+* :class:`JsonlSink` — streams one JSON object per event to a file
+  (togglable from the CLI via ``--timeline``), for offline tooling.
+
+Events are plain dicts with three reserved keys — ``stage`` (the
+pipeline stage that published), ``epoch`` (1-based), ``t_s`` (the
+simulated clock) — plus arbitrary numeric payload fields.  Publishing
+with no sinks attached is a cheap no-op, so instrumented code never
+needs to guard its publish calls.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Union
+
+Event = Dict[str, Union[str, int, float]]
+
+
+class TelemetrySink:
+    """Consumer of pipeline events.  Subclasses override :meth:`emit`."""
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        """Release any resources (files, sockets).  Idempotent."""
+
+
+class RingBufferSink(TelemetrySink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._events: deque = deque(maxlen=self.capacity)
+
+    def emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink(TelemetrySink):
+    """Append one JSON object per event to a file.
+
+    Accepts a path (opened lazily on first emit, so constructing a
+    sink never creates an empty file) or an already-open file object
+    (not closed by :meth:`close` unless the sink opened it).
+    """
+
+    def __init__(self, path_or_file):
+        self._path: Optional[str] = None
+        self._fh = None
+        self._owns_fh = False
+        if isinstance(path_or_file, (str, bytes)):
+            self._path = path_or_file
+        else:
+            self._fh = path_or_file
+
+    @property
+    def path(self) -> Optional[str]:
+        return self._path
+
+    def emit(self, event: Event) -> None:
+        if self._fh is None:
+            self._fh = open(self._path, "w")
+            self._owns_fh = True
+        self._fh.write(json.dumps(event) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns_fh:
+            self._fh.close()
+            self._fh = None
+            self._owns_fh = False
+        elif self._fh is not None:
+            self._fh.flush()
+
+
+def read_jsonl(path: str) -> List[Event]:
+    """Load a JSONL timeline back into a list of events."""
+    events: List[Event] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class TelemetryBus:
+    """Fan-out from pipeline stages to the attached sinks."""
+
+    def __init__(self, sinks: Iterable[TelemetrySink] = ()):
+        self.sinks: List[TelemetrySink] = list(sinks)
+
+    # ------------------------------------------------------------------
+    # sink management
+
+    def attach(self, sink: TelemetrySink) -> TelemetrySink:
+        """Register a sink; returns it for chaining."""
+        self.sinks.append(sink)
+        return sink
+
+    def detach(self, sink: TelemetrySink) -> None:
+        self.sinks.remove(sink)
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink would see a publish."""
+        return bool(self.sinks)
+
+    # ------------------------------------------------------------------
+    # publication
+
+    def publish(self, stage: str, epoch: int, t_s: float, **fields) -> None:
+        """Publish one event to every sink (no-op with no sinks)."""
+        if not self.sinks:
+            return
+        event: Event = {"stage": stage, "epoch": int(epoch), "t_s": float(t_s)}
+        event.update(fields)
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every sink (flush files)."""
+        for sink in self.sinks:
+            sink.close()

@@ -1,5 +1,7 @@
 """Tests for the sweep utilities and M5Options plumbing."""
 
+import copy
+
 import pytest
 
 from repro.core.manager import HPT_DRIVEN, HPT_ONLY, HWT_DRIVEN
@@ -7,6 +9,8 @@ from repro.sim import (
     M5Options,
     SimConfig,
     Simulation,
+    cell_seed,
+    collect_matrix,
     matrix_means,
     normalized,
     run_matrix,
@@ -43,6 +47,58 @@ class TestMatrix:
         base = run_one("redis", "none", tiny_config())
         same = run_one("redis", "none", tiny_config())
         assert normalized(base, same) == pytest.approx(1.0)
+
+    def test_none_cell_reuses_baseline_run(self):
+        matrix = run_matrix(["mcf"], ["none", "anb"], tiny_config)
+        # reused baseline normalises against itself: exactly 1.0
+        assert matrix["mcf"]["none"] == 1.0
+        results = collect_matrix(["mcf"], ["none", "anb"], tiny_config)
+        assert set(results["mcf"]) == {"none", "anb"}
+
+    def test_normalized_raises_on_zero_p99_measurement(self):
+        base = run_one("redis", "none", tiny_config())
+        broken = copy.copy(base)
+        broken.p99_latency_us = 0.0
+        with pytest.raises(ValueError):
+            normalized(base, broken)
+        with pytest.raises(ValueError):
+            normalized(broken, base)
+
+    def test_normalized_falls_back_when_p99_missing(self):
+        base = run_one("redis", "none", tiny_config())
+        no_p99 = copy.copy(base)
+        no_p99.p99_latency_us = None
+        assert normalized(base, no_p99) == pytest.approx(1.0)
+
+
+class TestParallelMatrix:
+    def test_cell_seed_deterministic_and_policy_independent(self):
+        assert cell_seed(1, "mcf") == cell_seed(1, "mcf")
+        assert cell_seed(1, "mcf") != cell_seed(2, "mcf")
+        assert cell_seed(1, "mcf") != cell_seed(1, "roms")
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_matrix(["mcf"], ["anb"], tiny_config, jobs=0)
+
+    def test_parallel_matches_serial(self):
+        benches = ["mcf", "roms"]
+        policies = ["none", "anb", "m5-hpt"]
+        serial = run_matrix(benches, policies, tiny_config, jobs=1)
+        parallel = run_matrix(benches, policies, tiny_config, jobs=4)
+        assert serial == parallel
+
+    def test_parallel_results_identical_to_serial(self):
+        serial = collect_matrix(["mcf"], ["anb"], tiny_config, jobs=1)
+        parallel = collect_matrix(["mcf"], ["anb"], tiny_config, jobs=2)
+        for bench in serial:
+            for policy in serial[bench]:
+                s, p = serial[bench][policy], parallel[bench][policy]
+                assert s.execution_time_s == p.execution_time_s
+                assert s.promoted == p.promoted
+                assert s.demoted == p.demoted
+                assert s.hot_pfns == p.hot_pfns
+                assert s.ratio_checkpoints == p.ratio_checkpoints
 
 
 class TestM5OptionsPlumbing:

@@ -1,0 +1,159 @@
+"""Tests for the telemetry bus, its sinks, and the engine timeline."""
+
+import json
+
+import pytest
+
+from repro.sim import SimConfig, Simulation
+from repro.sim.telemetry import (
+    JsonlSink,
+    RingBufferSink,
+    TelemetryBus,
+    TelemetrySink,
+    read_jsonl,
+)
+from repro.workloads import uniform_workload
+
+
+def small_config(**kw):
+    defaults = dict(
+        total_accesses=120_000,
+        chunk_size=30_000,
+        ddr_pages=512,
+        cxl_pages=4096,
+        checkpoints=3,
+        pages_per_gb=1024,
+    )
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+class RecordingSink(TelemetrySink):
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+class TestTelemetryBus:
+    def test_sink_registration_and_fanout(self):
+        bus = TelemetryBus()
+        assert not bus.active
+        a, b = RecordingSink(), RecordingSink()
+        bus.attach(a)
+        bus.attach(b)
+        assert bus.active
+        bus.publish("epoch", 1, 0.5, n_ddr=10)
+        assert a.events == b.events
+        assert a.events[0] == {"stage": "epoch", "epoch": 1, "t_s": 0.5, "n_ddr": 10}
+
+    def test_detach_stops_delivery(self):
+        bus = TelemetryBus()
+        sink = RecordingSink()
+        bus.attach(sink)
+        bus.detach(sink)
+        bus.publish("epoch", 1, 0.0)
+        assert sink.events == []
+        assert not bus.active
+
+    def test_publish_without_sinks_is_noop(self):
+        TelemetryBus().publish("epoch", 1, 0.0, anything=1)  # must not raise
+
+    def test_close_closes_every_sink(self):
+        bus = TelemetryBus([RecordingSink(), RecordingSink()])
+        bus.close()
+        assert all(s.closed for s in bus.sinks)
+
+
+class TestRingBufferSink:
+    def test_keeps_events_in_order(self):
+        ring = RingBufferSink(capacity=10)
+        for i in range(5):
+            ring.emit({"epoch": i})
+        assert [e["epoch"] for e in ring.events] == [0, 1, 2, 3, 4]
+        assert len(ring) == 5
+
+    def test_eviction_drops_oldest(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(7):
+            ring.emit({"epoch": i})
+        assert [e["epoch"] for e in ring.events] == [4, 5, 6]
+        assert len(ring) == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "timeline.jsonl")
+        sink = JsonlSink(path)
+        events = [
+            {"stage": "epoch", "epoch": 1, "t_s": 0.25, "n_ddr": 3},
+            {"stage": "ratio", "epoch": 2, "t_s": 0.50, "ratio": 0.9},
+        ]
+        for e in events:
+            sink.emit(e)
+        sink.close()
+        assert read_jsonl(path) == events
+
+    def test_lazy_open_creates_no_empty_file(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(str(path))
+        sink.close()
+        assert not path.exists()
+
+    def test_accepts_open_file_object(self, tmp_path):
+        path = tmp_path / "fh.jsonl"
+        with open(path, "w") as fh:
+            sink = JsonlSink(fh)
+            sink.emit({"stage": "epoch", "epoch": 1, "t_s": 0.0})
+            sink.close()  # flushes, must not close the caller's handle
+            assert not fh.closed
+        assert len(read_jsonl(str(path))) == 1
+
+
+class TestEngineTimeline:
+    def test_run_result_has_epoch_timeline(self):
+        sim = Simulation(
+            uniform_workload(footprint_pages=1024, seed=0),
+            small_config(),
+            policy="none",
+        )
+        result = sim.run()
+        epochs = result.timeline_events("epoch")
+        assert len(epochs) == small_config().num_epochs
+        assert epochs[0]["nr_pages_cxl"] == 1024
+        assert all("overhead_us" in e and "migration_us" in e for e in epochs)
+
+    def test_ratio_checkpoints_mirrored_on_timeline(self):
+        sim = Simulation(
+            uniform_workload(footprint_pages=1024, seed=0),
+            small_config(migrate=False),
+            policy="none",
+        )
+        result = sim.run()
+        ratios = [e["ratio"] for e in result.timeline_events("ratio")]
+        assert ratios == result.ratio_checkpoints
+
+    def test_custom_bus_receives_engine_events(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        bus = TelemetryBus([JsonlSink(path)])
+        sim = Simulation(
+            uniform_workload(footprint_pages=1024, seed=0),
+            small_config(),
+            policy="none",
+            telemetry=bus,
+        )
+        result = sim.run()
+        bus.close()
+        events = read_jsonl(path)
+        assert [e for e in events if e["stage"] == "epoch"]
+        # the JSONL stream and the in-memory timeline agree
+        assert json.loads(json.dumps(result.timeline)) == events

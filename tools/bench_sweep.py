@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Micro-harness: serial vs parallel ``run_matrix`` wall time.
+
+Runs a 4-benchmark × 4-policy matrix twice — ``jobs=1`` and
+``jobs=N`` — verifies the matrices are identical, and records wall
+times plus the speedup to ``BENCH_sweep.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sweep.py [--jobs 4] [--accesses N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim import SimConfig, run_matrix  # noqa: E402
+
+BENCHES = ["mcf", "roms", "bc", "redis"]
+POLICIES = ["anb", "damon", "tpp", "m5-hpt"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel leg")
+    parser.add_argument("--accesses", type=int, default=400_000,
+                        help="trace length per matrix cell")
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_sweep.json"))
+    args = parser.parse_args()
+
+    factory = functools.partial(
+        SimConfig,
+        total_accesses=args.accesses,
+        chunk_size=16_384,
+        trace_subsample=64.0,
+        checkpoints=1,
+    )
+
+    legs = {}
+    matrices = {}
+    for label, jobs in (("serial", 1), (f"jobs={args.jobs}", args.jobs)):
+        start = time.perf_counter()
+        matrices[label] = run_matrix(BENCHES, POLICIES, factory, seed=1, jobs=jobs)
+        legs[label] = time.perf_counter() - start
+        print(f"{label:>10s}: {legs[label]:7.2f} s")
+
+    serial_s = legs["serial"]
+    parallel_s = legs[f"jobs={args.jobs}"]
+    identical = matrices["serial"] == matrices[f"jobs={args.jobs}"]
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    print(f"   speedup: {speedup:7.2f}x  (matrices identical: {identical})")
+
+    cpu_count = os.cpu_count() or 1
+    record = {
+        "benches": BENCHES,
+        "policies": POLICIES,
+        "cells": len(BENCHES) * (len(POLICIES) + 1),
+        "accesses_per_cell": args.accesses,
+        "jobs": args.jobs,
+        "cpu_count": cpu_count,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        # The parallelism ceiling is min(jobs, cores): a single-core
+        # host cannot show wall-clock speedup regardless of jobs.
+        "max_possible_speedup": min(args.jobs, cpu_count),
+        "matrices_identical": identical,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=1)
+        fh.write("\n")
+    print(f"recorded to {os.path.abspath(args.output)}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
