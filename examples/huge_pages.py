@@ -18,7 +18,6 @@ from repro.core.hugepage import HugePageAggregator, make_huge_hpt
 from repro.core.trackers import make_hpt
 from repro.workloads import SyntheticParams, SyntheticWorkload, WorkloadSpec
 from repro.workloads.wordmap import WordDensityProfile
-from repro.workloads.zipf import mixture_popularity
 
 #: 2MB regions: 512 x 4KB pages.
 PAGES_PER_HUGE = 512

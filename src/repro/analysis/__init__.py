@@ -30,6 +30,8 @@ from repro.analysis.figures import (
 )
 from repro.analysis.tables import print_series, print_table, render_series, render_table
 from repro.analysis.timeline import (
+    migration_outcome_totals,
+    migration_outcomes,
     migration_totals,
     occupancy_series,
     ratio_trajectory,
@@ -61,6 +63,8 @@ __all__ = [
     "export_series",
     "export_sparsity",
     "write_csv",
+    "migration_outcome_totals",
+    "migration_outcomes",
     "migration_totals",
     "occupancy_series",
     "ratio_trajectory",

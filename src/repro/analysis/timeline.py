@@ -75,3 +75,65 @@ def migration_totals(timeline: Sequence[Event]) -> Dict[str, float]:
 def ratio_trajectory(timeline: Sequence[Event]) -> List[float]:
     """The access-count-ratio checkpoints, in measurement order."""
     return timeline_series(timeline, "ratio", stage="ratio")
+
+
+#: Per-epoch columns of :func:`migration_outcomes`, and the payload
+#: field each one sums from the ``migration.*`` event carrying it.
+_MIGRATION_COLUMNS = (
+    ("enqueued", "migration.enqueue", "enqueued"),
+    ("dropped_full", "migration.enqueue", "dropped_full"),
+    ("committed", "migration.commit", "committed"),
+    ("promoted", "migration.commit", "promoted"),
+    ("demoted", "migration.commit", "demoted"),
+    ("aborted", "migration.abort", "aborted"),
+    ("aborted_dirty", "migration.abort", "dirty"),
+    ("aborted_injected", "migration.abort", "injected"),
+    ("aborted_enomem", "migration.abort", "enomem"),
+    ("retried", "migration.retry", "retried"),
+    ("dropped_retries", "migration.retry", "dropped"),
+)
+
+
+def migration_outcomes(timeline: Sequence[Event]) -> Dict[str, List[float]]:
+    """Pivot the async subsystem's ``migration.*`` events per epoch.
+
+    Returns ``{"epoch": [...], "committed": [...], "aborted": [...],
+    ...}`` columns of equal length — one row per epoch that published
+    at least one migration event — so commits-vs-aborts trajectories
+    plot directly.  Empty dict when the run produced no migration
+    events (instant mode).
+    """
+    epochs: Dict[int, Dict[str, float]] = {}
+    pending: Dict[int, float] = {}
+    for e in timeline:
+        stage = str(e.get("stage", ""))
+        if not stage.startswith("migration."):
+            continue
+        epoch = int(e["epoch"])
+        row = epochs.setdefault(
+            epoch, {name: 0.0 for name, _, _ in _MIGRATION_COLUMNS}
+        )
+        for name, at_stage, field in _MIGRATION_COLUMNS:
+            if stage == at_stage and field in e:
+                row[name] += float(e[field])
+        if stage == "migration.enqueue" and "pending" in e:
+            pending[epoch] = float(e["pending"])
+    if not epochs:
+        return {}
+    ordered = sorted(epochs)
+    out: Dict[str, List[float]] = {"epoch": [float(ep) for ep in ordered]}
+    for name, _, _ in _MIGRATION_COLUMNS:
+        out[name] = [epochs[ep][name] for ep in ordered]
+    out["pending"] = [pending.get(ep, 0.0) for ep in ordered]
+    return out
+
+
+def migration_outcome_totals(timeline: Sequence[Event]) -> Dict[str, float]:
+    """Whole-run totals of the async subsystem's migration events."""
+    frame = migration_outcomes(timeline)
+    totals = {
+        name: sum(frame.get(name, [])) for name, _, _ in _MIGRATION_COLUMNS
+    }
+    totals["epochs_active"] = float(len(frame.get("epoch", [])))
+    totals["peak_pending"] = max(frame.get("pending", []), default=0.0)
+    return totals

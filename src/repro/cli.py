@@ -19,7 +19,12 @@ import argparse
 import functools
 from typing import List, Optional
 
-from repro.analysis import AccessCdf, from_wac, print_table
+from repro.analysis import (
+    AccessCdf,
+    from_wac,
+    migration_outcome_totals,
+    print_table,
+)
 from repro.core import hwcost
 from repro.sim import (
     ALL_POLICIES,
@@ -40,6 +45,13 @@ def _config_from(args) -> SimConfig:
         trace_subsample=args.subsample,
         migrate=not getattr(args, "no_migrate", False),
         checkpoints=getattr(args, "checkpoints", 1) or 1,
+        migration_mode=getattr(args, "migration_mode", "instant"),
+        migration_inflight_budget=getattr(args, "mig_budget", 128),
+        migration_queue_capacity=getattr(args, "mig_queue_cap", 4096),
+        migration_abort_rate=getattr(args, "mig_abort_rate", 0.0),
+        migration_max_retries=getattr(args, "mig_max_retries", 3),
+        migration_copy_gbps=getattr(args, "mig_copy_gbps", 0.0),
+        migration_enomem_policy=getattr(args, "mig_enomem", "demote-first"),
     )
 
 
@@ -91,6 +103,23 @@ def cmd_run(args) -> int:
     print(f"DDR/CXL pages : {result.nr_pages_ddr} / {result.nr_pages_cxl}")
     if result.access_count_ratio is not None:
         print(f"access-count ratio: {result.access_count_ratio:.3f}")
+    if args.migration_mode == "async":
+        ex = result.extra
+        print(f"async queue   : enqueued {ex.get('mig_enqueued', 0):.0f}, "
+              f"committed {ex.get('mig_committed', 0):.0f}, "
+              f"aborted {ex.get('mig_aborted', 0):.0f} "
+              f"(dirty {ex.get('mig_aborted_dirty', 0):.0f} / "
+              f"injected {ex.get('mig_aborted_injected', 0):.0f} / "
+              f"enomem {ex.get('mig_aborted_enomem', 0):.0f}), "
+              f"retried {ex.get('mig_retries', 0):.0f}, "
+              f"dropped {ex.get('mig_dropped_retries', 0):.0f}, "
+              f"pending {ex.get('mig_pending', 0):.0f}")
+        totals = migration_outcome_totals(result.timeline)
+        if totals["epochs_active"]:
+            print(f"queue timeline: active in {totals['epochs_active']:.0f} "
+                  f"epochs, peak pending {totals['peak_pending']:.0f}, "
+                  f"commit/abort ratio "
+                  f"{totals['committed']:.0f}/{totals['aborted']:.0f}")
     return 0
 
 
@@ -147,6 +176,13 @@ def cmd_sweep(args) -> int:
         trace_subsample=args.subsample,
         migrate=not getattr(args, "no_migrate", False),
         checkpoints=getattr(args, "checkpoints", 1) or 1,
+        migration_mode=getattr(args, "migration_mode", "instant"),
+        migration_inflight_budget=getattr(args, "mig_budget", 128),
+        migration_queue_capacity=getattr(args, "mig_queue_cap", 4096),
+        migration_abort_rate=getattr(args, "mig_abort_rate", 0.0),
+        migration_max_retries=getattr(args, "mig_max_retries", 3),
+        migration_copy_gbps=getattr(args, "mig_copy_gbps", 0.0),
+        migration_enomem_policy=getattr(args, "mig_enomem", "demote-first"),
     )
     matrix = run_matrix(
         benches, policies, factory, seed=args.seed, jobs=args.jobs
@@ -239,8 +275,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--subsample", type=float, default=64.0)
         p.add_argument("--seed", type=int, default=1)
 
+    def add_migration_args(p):
+        p.add_argument("--migration-mode", default="instant",
+                       choices=("instant", "async"),
+                       help="instant: atomic flat-cost migration; async: "
+                            "transactional queue with budgets and aborts")
+        p.add_argument("--mig-budget", type=int, default=128,
+                       help="async: max page copies in flight per epoch")
+        p.add_argument("--mig-queue-cap", type=int, default=4096,
+                       help="async: bounded migration-queue capacity")
+        p.add_argument("--mig-abort-rate", type=float, default=0.0,
+                       help="async: injected mid-copy abort probability")
+        p.add_argument("--mig-max-retries", type=int, default=3,
+                       help="async: retries before a request is dropped")
+        p.add_argument("--mig-copy-gbps", type=float, default=0.0,
+                       help="async: copy-engine bandwidth throttle (GB/s, "
+                            "0 = budget-only)")
+        p.add_argument("--mig-enomem", default="demote-first",
+                       choices=("demote-first", "abort"),
+                       help="async: full fast tier demotes a victim first "
+                            "or aborts the promotion")
+
     run = sub.add_parser("run", help="run one benchmark under one policy")
     add_run_args(run)
+    add_migration_args(run)
     run.add_argument("--no-migrate", action="store_true",
                      help="identification-only mode (§4.1 S1)")
     run.add_argument("--checkpoints", type=int, default=10)
@@ -249,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="compare policies")
     add_run_args(compare, with_policy=False)
+    add_migration_args(compare)
     compare.add_argument("--policies", default="anb,damon,m5-hpt")
 
     sweep = sub.add_parser(
@@ -265,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the matrix cells")
     sweep.add_argument("--no-migrate", action="store_true",
                        help="identification-only mode (§4.1 S1)")
+    add_migration_args(sweep)
 
     profile = sub.add_parser("profile", help="PAC/WAC offline profile")
     add_run_args(profile, with_policy=False)

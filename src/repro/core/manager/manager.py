@@ -37,6 +37,8 @@ class ManagerStepResult:
     decision: Optional[ElectorDecision]
     nominated: int = 0
     promoted: int = 0
+    #: Pages queued into the async migration subsystem (async mode).
+    enqueued: int = 0
     overhead_us: float = 0.0
 
 
@@ -52,6 +54,10 @@ class M5Manager:
         nominator: candidate-selection mechanism.
         elector: Algorithm 1 policy (default parameters if omitted).
         batch_limit: maximum pages promoted per activation.
+        async_engine: optional
+            :class:`~repro.migration.engine.AsyncMigrationEngine`;
+            when set, Promoter feeds its bounded queue instead of
+            migrating instantly.
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class M5Manager:
         elector: Optional[Elector] = None,
         batch_limit: Optional[int] = None,
         dry_run: bool = False,
+        async_engine: Optional[object] = None,
     ):
         #: EpochPolicy identifier; the Simulation overwrites it with
         #: the concrete registry name (m5-hpt / m5-hwt / m5-hpt+hwt).
@@ -72,7 +79,7 @@ class M5Manager:
         self.monitor = Monitor(memory)
         self.nominator = nominator if nominator is not None else Nominator(HPT_ONLY)
         self.elector = elector if elector is not None else Elector()
-        self.promoter = Promoter(memory, engine)
+        self.promoter = Promoter(memory, engine, async_engine=async_engine)
         self.hpt = hpt
         self.hwt = hwt
         if self.nominator.mode != HPT_ONLY and hwt is None:
@@ -116,6 +123,7 @@ class M5Manager:
             if nomination.pfns and not self.dry_run:
                 report = self.promoter.promote(nomination.pfns)
                 result.promoted = report.promoted
+                result.enqueued = report.enqueued
         return result
 
     # ------------------------------------------------------------------

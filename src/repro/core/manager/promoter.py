@@ -5,18 +5,30 @@ hot-page physical addresses; Promoter writes them to a proc file,
 checks that each page may be migrated safely (not DMA-pinned, not
 explicitly bound to the CXL node), and finally calls
 ``migrate_pages()`` — modelled here by the
-:class:`~repro.memory.migration.MigrationEngine`.
+:class:`~repro.memory.migration.MigrationEngine`, or, when the
+asynchronous subsystem is active, by enqueueing the pages into the
+:class:`~repro.migration.engine.AsyncMigrationEngine`'s bounded queue
+(the queue's transactional tick then commits or aborts them).
+
+The proc file itself is bounded: if the kernel worker stalls while
+user space keeps writing, the pending buffer saturates at
+``ProcFile.capacity`` and further PFNs are dropped and counted rather
+than growing without limit — the same back-pressure discipline a real
+fixed-size kernel buffer has.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.memory.migration import MigrationEngine
 from repro.memory.tiers import TieredMemory
+
+#: Default bound of the proc-file pending buffer (PFN entries).
+PROC_FILE_CAPACITY = 65_536
 
 
 @dataclass
@@ -26,15 +38,24 @@ class ProcFile:
     Writes append to a pending buffer; the in-kernel worker consumes
     the buffer when it runs.  Keeping the file model explicit lets the
     tests exercise the same user/kernel handoff contract the paper's
-    implementation has.
+    implementation has.  The buffer is bounded: once ``capacity``
+    entries are pending, further writes are truncated and the overflow
+    is counted in ``dropped``.
     """
 
     pending: List[int] = field(default_factory=list)
     writes: int = 0
+    dropped: int = 0
+    capacity: int = PROC_FILE_CAPACITY
 
-    def write(self, pfns: Sequence[int]) -> None:
-        self.pending.extend(int(p) for p in pfns)
+    def write(self, pfns: Sequence[int]) -> int:
+        """Append PFNs up to capacity; returns how many were accepted."""
         self.writes += 1
+        room = self.capacity - len(self.pending)
+        accepted = list(pfns)[: max(0, room)]
+        self.dropped += len(pfns) - len(accepted)
+        self.pending.extend(int(p) for p in accepted)
+        return len(accepted)
 
     def drain(self) -> List[int]:
         batch, self.pending = self.pending, []
@@ -49,14 +70,31 @@ class PromotionReport:
     unknown_pfn: int = 0
     promoted: int = 0
     rejected: int = 0
+    #: Pages handed to the async queue (async mode only; they commit
+    #: or abort in a later tick, so ``promoted`` stays 0 here).
+    enqueued: int = 0
 
 
 class Promoter:
-    """Safe migration of nominated pages into DDR DRAM."""
+    """Safe migration of nominated pages into DDR DRAM.
 
-    def __init__(self, memory: TieredMemory, engine: MigrationEngine):
+    Args:
+        memory: the tiered-memory system.
+        engine: the synchronous migration engine (instant mode).
+        async_engine: when set, promotions are enqueued into the
+            asynchronous transactional subsystem instead of being
+            applied immediately.
+    """
+
+    def __init__(
+        self,
+        memory: TieredMemory,
+        engine: MigrationEngine,
+        async_engine: Optional[object] = None,
+    ):
         self.memory = memory
         self.engine = engine
+        self.async_engine = async_engine
         self.proc_file = ProcFile()
         self.total = PromotionReport()
 
@@ -73,13 +111,17 @@ class Promoter:
         lpages = self.memory.logical_pages_of_pfns(np.asarray(pfns, dtype=np.int64))
         known = lpages[lpages >= 0]
         report.unknown_pfn = int((lpages < 0).sum())
-        rejected_before = self.engine.stats.rejected
-        report.promoted = self.engine.promote(known)
-        report.rejected = self.engine.stats.rejected - rejected_before
+        if self.async_engine is not None:
+            report.enqueued = self.async_engine.enqueue_promotions(known)
+        else:
+            rejected_before = self.engine.stats.rejected
+            report.promoted = self.engine.promote(known)
+            report.rejected = self.engine.stats.rejected - rejected_before
         self.total.requested += report.requested
         self.total.unknown_pfn += report.unknown_pfn
         self.total.promoted += report.promoted
         self.total.rejected += report.rejected
+        self.total.enqueued += report.enqueued
         return report
 
     def promote(self, pfns: Sequence[int]) -> PromotionReport:

@@ -1,0 +1,35 @@
+"""Asynchronous, transactional page-migration subsystem.
+
+Replaces the instantaneous migration path when
+``SimConfig.migration_mode == "async"``: a bounded queue with per-epoch
+in-flight budgets and a bandwidth throttle, Nomad-style transactional
+copies (shadow copy → dirty recheck → commit/abort), retry with
+exponential backoff, a drop-after-N-retries escape hatch, and failure
+injection hooks for robustness testing.
+"""
+
+from repro.migration.engine import AsyncMigrationConfig, AsyncMigrationEngine
+from repro.migration.injection import FailureInjector
+from repro.migration.queue import MigrationQueue
+from repro.migration.request import (
+    AsyncMigrationStats,
+    Direction,
+    MigrationRequest,
+    Outcome,
+    TickReport,
+)
+from repro.migration.transaction import TransactionalCopier, TransactionResult
+
+__all__ = [
+    "AsyncMigrationConfig",
+    "AsyncMigrationEngine",
+    "AsyncMigrationStats",
+    "Direction",
+    "FailureInjector",
+    "MigrationQueue",
+    "MigrationRequest",
+    "Outcome",
+    "TickReport",
+    "TransactionResult",
+    "TransactionalCopier",
+]

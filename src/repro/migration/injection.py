@@ -1,0 +1,58 @@
+"""Failure-injection hooks for the async migration subsystem.
+
+Robustness tests drive the transactional copier through its abort
+paths without having to construct the triggering memory state by hand:
+
+* ``abort_rate`` — probability a copy fails mid-flight (models DMA
+  errors, races with unmap, or Nomad's "fall back" conditions beyond
+  dirty pages);
+* ``force_enomem`` — pretend the fast tier can never supply a frame,
+  exercising the ENOMEM → demote-first/abort path deterministically;
+* ``dirty_pages`` — extra pages reported dirty at every recheck, on
+  top of the epoch's snooped writes.
+
+The injector is seeded, so failure sequences are reproducible run to
+run (the engine derives the seed from ``SimConfig.seed``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+
+class FailureInjector:
+    """Deterministic failure source for migration transactions."""
+
+    def __init__(
+        self,
+        abort_rate: float = 0.0,
+        seed: int = 0,
+        force_enomem: bool = False,
+        dirty_pages: Optional[Iterable[int]] = None,
+    ):
+        if not 0.0 <= abort_rate <= 1.0:
+            raise ValueError("abort_rate must be in [0, 1]")
+        self.abort_rate = float(abort_rate)
+        self.force_enomem = bool(force_enomem)
+        self.dirty_pages: Set[int] = {int(p) for p in (dirty_pages or ())}
+        self._rng = np.random.default_rng(seed)
+        self.injected_aborts = 0
+
+    def should_abort_copy(self) -> bool:
+        """Roll the injected mid-copy failure for one transaction."""
+        if self.abort_rate <= 0.0:
+            return False
+        if self.abort_rate >= 1.0 or self._rng.random() < self.abort_rate:
+            self.injected_aborts += 1
+            return True
+        return False
+
+    def is_dirty(self, lpage: int) -> bool:
+        """Injected dirtiness (checked in addition to snooped writes)."""
+        return int(lpage) in self.dirty_pages
+
+    def deny_frame(self) -> bool:
+        """Injected fast-tier allocation failure (forced ENOMEM)."""
+        return self.force_enomem

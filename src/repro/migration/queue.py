@@ -1,0 +1,110 @@
+"""Bounded, deduplicating migration queue with retry backoff.
+
+The queue is the boundary between nomination (policies, Promoter) and
+execution (the :class:`~repro.migration.engine.AsyncMigrationEngine`).
+It enforces three invariants:
+
+* **bounded** — at most ``capacity`` requests are pending; overflow is
+  dropped and counted rather than growing without limit (the same
+  discipline the bounded ``ProcFile`` applies to the user/kernel
+  handoff);
+* **deduplicated** — a page has at most one in-flight request; nominating
+  an already-queued page is a cheap no-op (counted as a duplicate).
+  Once a request leaves the queue for good (commit, rejection, or
+  drop-after-retries) the page becomes nominatable again;
+* **backoff-aware** — aborted requests re-enter with a
+  ``not_before_epoch`` gate; :meth:`take` skips gated requests without
+  reordering the eligible ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Set
+
+from repro.migration.request import Direction, MigrationRequest
+
+
+class MigrationQueue:
+    """FIFO of :class:`MigrationRequest` with a hard capacity."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = int(capacity)
+        self._queue: Deque[MigrationRequest] = deque()
+        self._queued_pages: Set[int] = set()
+        self.dropped_full = 0
+        self.duplicates = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, lpage: int) -> bool:
+        return int(lpage) in self._queued_pages
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._queue)
+
+    def push(self, lpage: int, direction: Direction, epoch: int = 0) -> bool:
+        """Enqueue one page movement; False if duplicate or full."""
+        lpage = int(lpage)
+        if lpage in self._queued_pages:
+            self.duplicates += 1
+            return False
+        if len(self._queue) >= self.capacity:
+            self.dropped_full += 1
+            return False
+        self._queue.append(
+            MigrationRequest(lpage, direction, enqueued_epoch=int(epoch))
+        )
+        self._queued_pages.add(lpage)
+        return True
+
+    def push_many(
+        self, lpages: Iterable[int], direction: Direction, epoch: int = 0
+    ) -> int:
+        """Enqueue a batch; returns how many were accepted."""
+        return sum(1 for p in lpages if self.push(p, direction, epoch))
+
+    def take(self, epoch: int, limit: Optional[int] = None) -> List[MigrationRequest]:
+        """Dequeue up to ``limit`` requests eligible at ``epoch``.
+
+        Requests still inside their backoff window stay queued in
+        order.  Taken requests keep their dedupe reservation until the
+        caller settles them via :meth:`requeue` or :meth:`release`.
+        """
+        budget = len(self._queue) if limit is None else int(limit)
+        taken: List[MigrationRequest] = []
+        kept: List[MigrationRequest] = []
+        while self._queue and budget > 0:
+            req = self._queue.popleft()
+            if req.not_before_epoch > epoch:
+                kept.append(req)
+                continue
+            taken.append(req)
+            budget -= 1
+        # Gated requests return to the front, original order preserved.
+        self._queue.extendleft(reversed(kept))
+        return taken
+
+    def requeue(self, request: MigrationRequest, not_before_epoch: int) -> None:
+        """Return an aborted request to the back of the queue."""
+        if request.lpage not in self._queued_pages:
+            self._queued_pages.add(request.lpage)
+        request.not_before_epoch = int(not_before_epoch)
+        self._queue.append(request)
+
+    def unget(self, request: MigrationRequest) -> None:
+        """Return an *unattempted* request to the front of the queue.
+
+        Used when the engine runs out of epoch budget mid-batch: the
+        request keeps its position, retry count, and backoff gate.
+        """
+        self._queued_pages.add(request.lpage)
+        self._queue.appendleft(request)
+
+    def release(self, lpage: int) -> None:
+        """Settle a taken request: the page is nominatable again."""
+        self._queued_pages.discard(int(lpage))

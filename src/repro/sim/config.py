@@ -31,6 +31,9 @@ class SimConfig:
         migrate: False runs identification-only (the §4.1 S1 mode
             where policies record hot pages but never migrate).
         migration_batch: max pages migrated per epoch.
+        migration_mode: "instant" (atomic flat-cost migration, the
+            default) or "async" (the transactional subsystem — see the
+            ``migration_*`` knobs below).
         seed: RNG seed.
         checkpoints: number of evenly spaced measurement points at
             which access-count ratios are snapshotted (the paper
@@ -57,6 +60,43 @@ class SimConfig:
     migrate: bool = True
     migration_batch: int = 512
     migration_cost_us: float = 54.0
+    #: ``"instant"`` applies decisions atomically at the paper's flat
+    #: 54 µs/page cost; ``"async"`` routes them through the
+    #: transactional subsystem in ``repro.migration`` (bounded queue,
+    #: in-flight budgets, dirty-recheck aborts, retry/backoff), with
+    #: migration copy traffic charged as contention against demand
+    #: traffic instead of a flat cost.
+    migration_mode: str = "instant"
+    #: Async mode: max page copies in flight per epoch.
+    migration_inflight_budget: int = 128
+    #: Async mode: bounded queue capacity (overflow drops + counts).
+    migration_queue_capacity: int = 4096
+    #: Async mode: injected mid-copy abort probability (robustness
+    #: testing hook; 0 disables injection).
+    migration_abort_rate: float = 0.0
+    #: Async mode: aborted requests retry this many times, then drop.
+    migration_max_retries: int = 3
+    #: Async mode: base retry backoff; retry n waits
+    #: ``backoff * 2**(n-1)`` epochs.
+    migration_backoff_epochs: int = 1
+    #: Async mode: migration copy-engine bandwidth in GB/s (0 = only
+    #: the in-flight budget throttles the queue).
+    migration_copy_gbps: float = 0.0
+    #: Async mode: what a full fast tier does to a promotion —
+    #: ``"demote-first"`` evicts an MGLRU victim to make room (TPP's
+    #: discipline), ``"abort"`` fails the transaction with ENOMEM.
+    migration_enomem_policy: str = "demote-first"
+    #: Async mode: kernel CPU cost per committed page (the unmap/
+    #: remap/TLB share of the 54 µs; the copy itself is charged as
+    #: memory traffic).
+    migration_remap_us: float = 12.0
+    #: Async mode: fraction of accesses that are stores (drives the
+    #: dirty-page model behind the Nomad-style recheck).
+    write_fraction: float = 0.3
+    #: Async mode: fraction of an epoch's writes that land inside a
+    #: transaction's copy window (the recheck races only against
+    #: writes concurrent with the copy, not the whole epoch).
+    dirty_window_frac: float = 0.01
     #: Fraction of migration work landing on the application's
     #: critical path.  Migration runs in kernel threads that overlap
     #: the benchmark's other instances; only TLB shootdowns, locks,
@@ -77,6 +117,23 @@ class SimConfig:
             raise ValueError("scale factors must be non-negative")
         if self.trace_subsample < 1:
             raise ValueError("trace_subsample must be >= 1")
+        if self.migration_mode not in ("instant", "async"):
+            raise ValueError(
+                f"migration_mode must be 'instant' or 'async', "
+                f"got {self.migration_mode!r}"
+            )
+        if self.migration_enomem_policy not in ("demote-first", "abort"):
+            raise ValueError(
+                "migration_enomem_policy must be 'demote-first' or 'abort'"
+            )
+        if self.migration_inflight_budget < 1:
+            raise ValueError("migration_inflight_budget must be positive")
+        if not 0.0 <= self.migration_abort_rate <= 1.0:
+            raise ValueError("migration_abort_rate must be in [0, 1]")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 <= self.dirty_window_frac <= 1.0:
+            raise ValueError("dirty_window_frac must be in [0, 1]")
         # Two scale-down factors relate the model to the real system:
         #
         # * footprint_scale — each model page groups this many real

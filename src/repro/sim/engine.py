@@ -36,6 +36,18 @@ attached by default and surfaces as ``RunResult.timeline``.
 ``config.migrate = False`` selects the identification-only mode
 (§4.1 S1): policies build their hot-page lists but nothing moves, so
 PAC's counts score them cleanly.
+
+``config.migration_mode = "async"`` replaces the instantaneous
+migrate stage with the transactional subsystem in
+:mod:`repro.migration`: the decision's promotions (and the Promoter's
+writes, for M5) *enqueue* into a bounded queue, and one engine tick
+per epoch executes requests as Nomad-style transactions — shadow copy,
+dirty recheck against the epoch's snooped writes, then commit or
+abort with retry/backoff — under a per-epoch in-flight budget and an
+optional copy-bandwidth throttle.  Copy traffic is charged into the
+performance model as contention against demand traffic
+(``migration.enqueue/commit/abort/retry`` telemetry events trace the
+queue's behaviour).  Instant mode stays the default.
 """
 
 from __future__ import annotations
@@ -74,6 +86,7 @@ from repro.memory.address import PAGE_SHIFT
 from repro.memory.migration import MigrationCostModel, MigrationEngine
 from repro.memory.mglru import MultiGenLru
 from repro.memory.tiers import NodeKind, TieredMemory
+from repro.migration import AsyncMigrationConfig, AsyncMigrationEngine, TickReport
 from repro.sim.config import SimConfig
 from repro.sim.perf import EpochPerf, PerformanceModel
 from repro.sim.telemetry import RingBufferSink, TelemetryBus
@@ -189,6 +202,10 @@ class _EpochState:
     demoted_before: int = 0
     migration_us: float = 0.0
     perf: Optional[EpochPerf] = None
+    # async-migration bookkeeping (None/0 in instant mode)
+    tick: Optional[TickReport] = None
+    enqueued_before: int = 0
+    qdropped_before: int = 0
 
 
 class Simulation:
@@ -243,6 +260,20 @@ class Simulation:
             cost_model=MigrationCostModel(self.config.migration_cost_us),
             mglru=self.mglru,
         )
+        #: The asynchronous transactional migration subsystem; None in
+        #: instant mode (the default), where decisions apply atomically.
+        self.async_engine: Optional[AsyncMigrationEngine] = None
+        self._write_rng = None
+        self._promoter_dropped_prev = 0
+        if self.config.migration_mode == "async":
+            self.async_engine = AsyncMigrationEngine(
+                self.engine, AsyncMigrationConfig.from_sim_config(self.config)
+            )
+            # Dirty-page model RNG, independent of the workload's
+            # stream so instant-mode traces are untouched.
+            self._write_rng = np.random.default_rng(
+                np.random.SeedSequence([self.config.seed, 0xD117])
+            )
         self.controller = CxlController(
             self.memory.cxl.region, access_latency_ns=self.config.cxl_latency_ns
         )
@@ -343,6 +374,7 @@ class Simulation:
             elector=elector,
             batch_limit=self.config.migration_batch,
             dry_run=not self.config.migrate,
+            async_engine=self.async_engine,
         )
         manager.name = name
         return manager
@@ -375,6 +407,13 @@ class Simulation:
         st.remaining -= take
         st.chunk = self.workload.chunk(take)
         st.lpages = (st.chunk >> np.uint64(PAGE_SHIFT)).astype(np.int64)
+        if self.async_engine is not None:
+            # Later stages (Promoter, the tick) tag queue entries with
+            # the current epoch; deltas feed the enqueue telemetry.
+            self.async_engine.current_epoch = st.epoch
+            st.tick = None
+            st.enqueued_before = self.async_engine.stats.enqueued
+            st.qdropped_before = self.async_engine.stats.dropped_queue_full
 
     def _stage_translate(self, policy: EpochPolicy, st: _EpochState) -> None:
         """Translate virtual addresses; tiers count the traffic."""
@@ -410,15 +449,99 @@ class Simulation:
                 overhead_us=st.decision.overhead_us,
                 nominated=st.decision.nominated,
             )
+        if self._manager is not None and self.telemetry.active:
+            dropped = self._manager.promoter.proc_file.dropped
+            if dropped > self._promoter_dropped_prev:
+                self.telemetry.publish(
+                    "promoter.drop",
+                    st.epoch,
+                    st.now_s,
+                    dropped=dropped - self._promoter_dropped_prev,
+                    total_dropped=dropped,
+                )
+                self._promoter_dropped_prev = dropped
+
+    def _epoch_dirty_pages(self, st: _EpochState) -> np.ndarray:
+        """Pages written inside this epoch's migration copy windows.
+
+        The dirty-recheck races only against stores concurrent with a
+        copy, so each access is marked dirty-in-window with probability
+        ``write_fraction * dirty_window_frac`` (see SimConfig).
+        """
+        p = self.config.write_fraction * self.config.dirty_window_frac
+        if p <= 0.0 or st.lpages is None or st.lpages.size == 0:
+            return np.empty(0, dtype=np.int64)
+        mask = self._write_rng.random(st.lpages.size) < p
+        return np.unique(st.lpages[mask])
+
+    def _migrate_async(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Async mode: enqueue the decision, then run one queue tick."""
+        eng = self.async_engine
+        if st.decision.promotions.size:
+            eng.enqueue_promotions(st.decision.promotions)
+        victims = policy.demotion_victims(st.view)
+        if victims.size:
+            eng.enqueue_demotions(victims)
+        st.tick = eng.tick(
+            st.epoch, self._epoch_dirty_pages(st), epoch_s=st.epoch_s_estimate
+        )
+        if not self.telemetry.active:
+            return
+        report = st.tick
+        enqueued = eng.stats.enqueued - st.enqueued_before
+        dropped_full = eng.stats.dropped_queue_full - st.qdropped_before
+        if enqueued or dropped_full:
+            self.telemetry.publish(
+                "migration.enqueue",
+                st.epoch,
+                st.now_s,
+                enqueued=enqueued,
+                dropped_full=dropped_full,
+                pending=eng.pending,
+            )
+        if report.committed:
+            self.telemetry.publish(
+                "migration.commit",
+                st.epoch,
+                st.now_s,
+                committed=report.committed,
+                promoted=report.promoted,
+                demoted=report.demoted,
+            )
+        if report.aborted:
+            self.telemetry.publish(
+                "migration.abort",
+                st.epoch,
+                st.now_s,
+                aborted=report.aborted,
+                dirty=report.aborted_dirty,
+                injected=report.aborted_injected,
+                enomem=report.aborted_enomem,
+            )
+        if report.retried or report.dropped_retries:
+            self.telemetry.publish(
+                "migration.retry",
+                st.epoch,
+                st.now_s,
+                retried=report.retried,
+                dropped=report.dropped_retries,
+            )
 
     def _stage_migrate(self, policy: EpochPolicy, st: _EpochState) -> None:
-        """Apply the decision: promotions, then watermark demotions."""
+        """Apply the decision: promotions, then watermark demotions.
+
+        Instant mode applies the decision atomically; async mode feeds
+        the transactional subsystem's bounded queue and runs one tick.
+        """
         if st.view.migrate:
-            if st.decision.promotions.size:
-                self.engine.promote(st.decision.promotions)
-            victims = policy.demotion_victims(st.view)
-            if victims.size:
-                self.engine.demote(victims)
+            if self.async_engine is not None:
+                self._migrate_async(policy, st)
+            else:
+                if st.decision.promotions.size:
+                    self.engine.promote(st.decision.promotions)
+                victims = policy.demotion_victims(st.view)
+                if victims.size:
+                    self.engine.demote(victims)
         self.mglru.age()
         promoted = self.engine.stats.promoted - st.promoted_before
         demoted = self.engine.stats.demoted - st.demoted_before
@@ -434,7 +557,13 @@ class Simulation:
         n_ddr = self.memory.ddr.accesses_this_epoch
         n_cxl = self.memory.cxl.accesses_this_epoch
         st.perf = self.perf.record_epoch(
-            n_ddr, n_cxl, st.decision.overhead_us, st.migration_us
+            n_ddr,
+            n_cxl,
+            st.decision.overhead_us,
+            st.migration_us,
+            migration_bytes=(
+                float(st.tick.copy_bytes) if st.tick is not None else 0.0
+            ),
         )
         st.now_s += st.perf.total_s
         st.epoch_s_estimate = st.perf.total_s
@@ -507,6 +636,9 @@ class Simulation:
             overhead_events=policy.overhead_events(),
             timeline=self._timeline.events,
         )
+        if self.async_engine is not None:
+            self.result.extra.update(self.async_engine.stats.as_extra())
+            self.result.extra["mig_pending"] = float(self.async_engine.pending)
         return self.result
 
 

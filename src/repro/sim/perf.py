@@ -80,17 +80,37 @@ class PerformanceModel:
         self.cores = max(1, spec.cores)
         self.epochs: List[EpochPerf] = []
 
-    def _node_memory_s(self, n: int, stall_s: float, bw_gbps: float) -> float:
+    def _node_memory_s(
+        self,
+        n: int,
+        stall_s: float,
+        bw_gbps: float,
+        extra_bytes: float = 0.0,
+    ) -> float:
         """Wall-clock memory time for one node's epoch traffic.
 
         Latency-bound time divides across cores (each core overlaps
         its own misses); bandwidth-bound time does not — the channel
         is shared.  The node is whichever bound is tighter.
+
+        ``extra_bytes`` is non-demand traffic on the node's channel —
+        asynchronous migration copies — in *model* bytes (one model
+        page groups ``page_scale`` real pages).  It contends with
+        demand traffic: it inflates the bandwidth-bound term, and
+        under the latency-only model it is charged as the equivalent
+        cacheline transfers through the same stall path.
         """
         latency_bound = n * stall_s * self.dilation / self.cores
+        extra_real_bytes = extra_bytes * self.page_scale
         if bw_gbps <= 0:
+            if extra_real_bytes:
+                latency_bound += (
+                    (extra_real_bytes / 64.0) * stall_s / self.cores
+                )
             return latency_bound
-        bandwidth_bound = n * 64.0 * self.dilation / (bw_gbps * 1e9)
+        bandwidth_bound = (
+            n * 64.0 * self.dilation + extra_real_bytes
+        ) / (bw_gbps * 1e9)
         return max(latency_bound, bandwidth_bound)
 
     def record_epoch(
@@ -99,17 +119,37 @@ class PerformanceModel:
         n_cxl: int,
         overhead_us: float,
         migration_us: float,
+        migration_bytes: float = 0.0,
     ) -> EpochPerf:
+        """Convert one epoch's traffic and overheads into time.
+
+        Args:
+            n_ddr / n_cxl: demand accesses served by each tier.
+            overhead_us: the policy's identification CPU cost.
+            migration_us: kernel CPU time of migration (the flat
+                54 µs/page in instant mode; the remap share in async
+                mode), charged via ``migration_overlap``.
+            migration_bytes: asynchronous migration copy traffic in
+                model bytes.  Each copied page reads from one tier and
+                writes the other, so the bytes contend on both
+                channels; 0 (instant mode) leaves the model untouched.
+        """
         n = n_ddr + n_cxl
         scale = self.dilation / self.cores
         perf = EpochPerf(
             compute_s=n * scale * self.compute_per_access_s,
             memory_s=(
                 self._node_memory_s(
-                    n_ddr, self.ddr_stall_s, self.config.ddr_bandwidth_gbps
+                    n_ddr,
+                    self.ddr_stall_s,
+                    self.config.ddr_bandwidth_gbps,
+                    extra_bytes=migration_bytes,
                 )
                 + self._node_memory_s(
-                    n_cxl, self.cxl_stall_s, self.config.cxl_bandwidth_gbps
+                    n_cxl,
+                    self.cxl_stall_s,
+                    self.config.cxl_bandwidth_gbps,
+                    extra_bytes=migration_bytes,
                 )
             ),
             overhead_s=overhead_us * 1e-6,

@@ -16,6 +16,15 @@ pipeline stage that published), ``epoch`` (1-based), ``t_s`` (the
 simulated clock) — plus arbitrary numeric payload fields.  Publishing
 with no sinks attached is a cheap no-op, so instrumented code never
 needs to guard its publish calls.
+
+Event kinds published by the pipeline: ``policy`` (overhead,
+nominations), ``migrate`` (promotions/demotions), ``epoch`` (tier
+occupancy, traffic split, epoch duration), ``ratio`` (access-count
+checkpoints), ``promoter.drop`` (bounded proc-file overflow), and —
+in async migration mode — ``migration.enqueue`` /
+``migration.commit`` / ``migration.abort`` / ``migration.retry``
+(the transactional queue's per-epoch outcomes; aggregate them with
+:func:`repro.analysis.timeline.migration_outcomes`).
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.workloads.base import SyntheticParams, SyntheticWorkload, WorkloadSpec
-from repro.workloads.phases import RotatingWorkingSet, Stationary, SweepMix
+from repro.workloads.phases import RotatingWorkingSet, Stationary
 from repro.workloads.wordmap import WordDensityProfile
 from repro.workloads.zipf import blend, spatially_clustered
 

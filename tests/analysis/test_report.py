@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.report import (
-    BenchmarkProfile,
     profile_benchmark,
     render_markdown,
 )

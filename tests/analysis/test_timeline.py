@@ -1,0 +1,104 @@
+"""Tests for the timeline pivot helpers, including migration.* events."""
+
+from repro.analysis.timeline import (
+    migration_outcome_totals,
+    migration_outcomes,
+    migration_totals,
+    occupancy_series,
+    timeline_frame,
+    timeline_series,
+)
+
+
+def epoch_event(epoch, **fields):
+    e = {"stage": "epoch", "epoch": epoch, "t_s": float(epoch)}
+    e.update(fields)
+    return e
+
+
+def mig_event(stage, epoch, **fields):
+    e = {"stage": stage, "epoch": epoch, "t_s": float(epoch)}
+    e.update(fields)
+    return e
+
+
+def async_timeline():
+    """Two epochs of migration.* events as the async engine publishes them."""
+    return [
+        epoch_event(1, promoted=2, demoted=0),
+        mig_event("migration.enqueue", 1, enqueued=10, dropped_full=1, pending=8),
+        mig_event("migration.commit", 1, committed=5, promoted=4, demoted=1),
+        mig_event("migration.abort", 1, aborted=3, dirty=1, injected=2, enomem=0),
+        mig_event("migration.retry", 1, retried=3, dropped=0),
+        epoch_event(2, promoted=0, demoted=1),
+        mig_event("migration.enqueue", 2, enqueued=4, dropped_full=0, pending=3),
+        mig_event("migration.commit", 2, committed=6, promoted=6, demoted=0),
+        mig_event("migration.retry", 2, retried=0, dropped=2),
+    ]
+
+
+class TestBasicPivots:
+    def test_series_skips_other_stages(self):
+        tl = async_timeline()
+        assert timeline_series(tl, "promoted") == [2.0, 0.0]
+
+    def test_frame_equal_length_columns(self):
+        frame = timeline_frame(async_timeline())
+        assert len(frame["promoted"]) == len(frame["demoted"]) == 2
+
+    def test_occupancy_empty_timeline(self):
+        assert occupancy_series([]) == {
+            "epoch": [], "t_s": [], "nr_pages_ddr": [], "nr_pages_cxl": [],
+        }
+
+    def test_migration_totals_sums(self):
+        tl = [epoch_event(1, promoted=2, demoted=1, migration_us=5.0,
+                          overhead_us=1.0),
+              epoch_event(2, promoted=3, demoted=0, migration_us=7.0,
+                          overhead_us=2.0)]
+        totals = migration_totals(tl)
+        assert totals["promoted"] == 5.0
+        assert totals["migration_us"] == 12.0
+
+
+class TestMigrationOutcomes:
+    def test_instant_mode_empty(self):
+        """No migration.* events (instant mode) -> empty dict."""
+        assert migration_outcomes([epoch_event(1, promoted=2)]) == {}
+
+    def test_columns_align_per_epoch(self):
+        frame = migration_outcomes(async_timeline())
+        assert frame["epoch"] == [1.0, 2.0]
+        assert frame["committed"] == [5.0, 6.0]
+        assert frame["aborted"] == [3.0, 0.0]
+        assert frame["aborted_dirty"] == [1.0, 0.0]
+        assert frame["aborted_injected"] == [2.0, 0.0]
+        assert frame["retried"] == [3.0, 0.0]
+        assert frame["dropped_retries"] == [0.0, 2.0]
+        assert frame["pending"] == [8.0, 3.0]
+
+    def test_missing_event_kind_fills_zero(self):
+        """Epoch 2 published no abort event; its row must still align."""
+        frame = migration_outcomes(async_timeline())
+        n = len(frame["epoch"])
+        assert all(len(col) == n for col in frame.values())
+
+    def test_epochs_come_out_sorted(self):
+        tl = list(reversed(async_timeline()))
+        frame = migration_outcomes(tl)
+        assert frame["epoch"] == [1.0, 2.0]
+
+    def test_totals(self):
+        totals = migration_outcome_totals(async_timeline())
+        assert totals["enqueued"] == 14.0
+        assert totals["dropped_full"] == 1.0
+        assert totals["committed"] == 11.0
+        assert totals["aborted"] == 3.0
+        assert totals["epochs_active"] == 2.0
+        assert totals["peak_pending"] == 8.0
+
+    def test_totals_empty_timeline(self):
+        totals = migration_outcome_totals([])
+        assert totals["committed"] == 0.0
+        assert totals["epochs_active"] == 0.0
+        assert totals["peak_pending"] == 0.0

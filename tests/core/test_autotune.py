@@ -84,7 +84,7 @@ class TestEndToEnd:
         """AdaptiveElector drops into M5Manager unchanged."""
         import numpy as np
 
-        from repro.core.manager import M5Manager, Nominator
+        from repro.core.manager import M5Manager
         from repro.core.trackers import make_hpt
         from repro.memory.migration import MigrationEngine
         from repro.memory.tiers import NodeKind, TieredMemory

@@ -1,8 +1,6 @@
 """Differential tests: the SortedCam against a brute-force reference
 implementation of the Figure 5 hardware semantics."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -16,6 +16,7 @@ from repro.core.manager import (
     exp_fscale,
     power_fscale,
 )
+from repro.core.manager.promoter import PROC_FILE_CAPACITY, ProcFile
 from repro.core.trackers import make_hpt, make_hwt
 from repro.memory.migration import MigrationEngine, PinReason
 from repro.memory.tiers import NodeKind, TieredMemory
@@ -271,6 +272,48 @@ class TestPromoter:
         prom.promote([mem.frame_of_page(1)])
         prom.promote([mem.frame_of_page(2)])
         assert prom.total.promoted == 2
+
+
+class TestProcFileBound:
+    def test_write_within_capacity_accepts_all(self):
+        pf = ProcFile(capacity=4)
+        assert pf.write([1, 2, 3]) == 3
+        assert pf.pending == [1, 2, 3]
+        assert pf.dropped == 0
+
+    def test_write_truncates_at_capacity(self):
+        pf = ProcFile(capacity=4)
+        pf.write([1, 2, 3])
+        assert pf.write([4, 5, 6]) == 1
+        assert pf.pending == [1, 2, 3, 4]
+        assert pf.dropped == 2
+
+    def test_full_buffer_drops_everything(self):
+        pf = ProcFile(capacity=2)
+        pf.write([1, 2])
+        assert pf.write([3, 4, 5]) == 0
+        assert pf.dropped == 3
+        assert pf.writes == 2
+
+    def test_drain_frees_capacity(self):
+        pf = ProcFile(capacity=2)
+        pf.write([1, 2])
+        assert pf.drain() == [1, 2]
+        assert pf.write([3, 4]) == 2
+        assert pf.dropped == 0
+
+    def test_default_capacity_is_module_constant(self):
+        assert ProcFile().capacity == PROC_FILE_CAPACITY
+
+    def test_promoter_counts_drops(self):
+        mem = TieredMemory(ddr_pages=8, cxl_pages=32, num_logical_pages=16)
+        mem.allocate_all(NodeKind.CXL)
+        prom = Promoter(mem, MigrationEngine(mem))
+        prom.proc_file = ProcFile(capacity=3)
+        prom.request([mem.frame_of_page(p) for p in range(5)])
+        assert prom.proc_file.dropped == 2
+        report = prom.run_kernel_worker()
+        assert report.requested == 3
 
 
 class TestM5Manager:

@@ -84,7 +84,6 @@ class TestInvariants:
                     min_size=1, max_size=200))
     def test_size_bounded_and_min_never_decreases_on_replace(self, offers):
         cam = SortedCam(4)
-        prev_min_when_full = 0
         for addr, est in offers:
             was_full = len(cam) == 4 and addr not in cam
             before = cam.table_min
@@ -93,7 +92,6 @@ class TestInvariants:
             if was_full and est > before:
                 # replacement keeps at least the old minimum's successor
                 assert cam.table_min >= before
-                prev_min_when_full = before
 
     @settings(max_examples=30)
     @given(st.lists(st.tuples(st.integers(0, 10), st.integers(1, 50)),

@@ -1,7 +1,6 @@
 """Tests for the Misra-Gries and Sticky-Sampling tracker variants."""
 
 import numpy as np
-import pytest
 
 from repro.core.trackers import (
     ExactTopK,

@@ -35,6 +35,23 @@ class TestCostModel:
         with pytest.raises(ValueError):
             MigrationCostModel(-1.0)
 
+    def test_breakeven_default_latencies(self):
+        """No-arg call uses the paper's 270/100ns pair."""
+        m = MigrationCostModel(54.0)
+        assert m.breakeven_accesses() == pytest.approx(
+            m.breakeven_accesses(270.0, 100.0)
+        )
+
+    def test_breakeven_inverted_tiers(self):
+        """Fast tier slower than slow tier: migration never pays off."""
+        m = MigrationCostModel(54.0)
+        assert m.breakeven_accesses(100.0, 270.0) == float("inf")
+
+    def test_breakeven_zero_cost(self):
+        """A free migration breaks even immediately."""
+        m = MigrationCostModel(0.0)
+        assert m.breakeven_accesses(270.0, 100.0) == 0.0
+
 
 class TestPromotion:
     def test_promote_moves_pages(self):
@@ -118,6 +135,50 @@ class TestPinning:
         _, eng = make_engine()
         with pytest.raises(ValueError):
             eng.pin(np.array([0]), PinReason.NONE)
+
+    def test_pin_empty_array_noop(self):
+        _, eng = make_engine()
+        eng.pin(np.array([], dtype=np.int64), PinReason.DMA)
+        assert all(eng.pin_reason(p) is PinReason.NONE for p in range(8))
+
+    def test_unpin_empty_array_noop(self):
+        _, eng = make_engine()
+        eng.unpin(np.array([], dtype=np.int64))
+        assert eng.promote(np.array([0])) == 1
+
+    def test_reject_pinned_empty_batch(self):
+        _, eng = make_engine()
+        out = eng._reject_pinned(np.array([], dtype=np.int64))
+        assert out.size == 0
+        assert eng.stats.rejected == 0
+        assert eng.stats.rejected_by_reason == {}
+
+    def test_double_pin_last_reason_wins(self):
+        _, eng = make_engine()
+        eng.pin(np.array([0]), PinReason.DMA)
+        eng.pin(np.array([0]), PinReason.NODE_BOUND)
+        assert eng.pin_reason(0) is PinReason.NODE_BOUND
+        assert eng.promote(np.array([0])) == 0
+        assert eng.stats.rejected_by_reason == {PinReason.NODE_BOUND: 1}
+
+    def test_unpin_never_pinned_is_noop(self):
+        mem, eng = make_engine()
+        eng.unpin(np.array([3]))
+        assert eng.pin_reason(3) is PinReason.NONE
+        assert eng.promote(np.array([3])) == 1
+        assert mem.node_of_page(3) is NodeKind.DDR
+
+    def test_reject_pinned_mixed_reasons_accounting(self):
+        _, eng = make_engine()
+        eng.pin(np.array([0, 1]), PinReason.DMA)
+        eng.pin(np.array([2]), PinReason.NODE_BOUND)
+        survivors = eng._reject_pinned(np.array([0, 1, 2, 3]))
+        assert survivors.tolist() == [3]
+        assert eng.stats.rejected == 3
+        assert eng.stats.rejected_by_reason == {
+            PinReason.DMA: 2,
+            PinReason.NODE_BOUND: 1,
+        }
 
 
 class TestStats:

@@ -1,0 +1,152 @@
+"""End-to-end tests of the async migration subsystem inside Simulation."""
+
+import pytest
+
+from repro.analysis.timeline import migration_outcome_totals, migration_outcomes
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation, run_policy
+from repro.sim.telemetry import RingBufferSink, TelemetryBus
+from repro.workloads import build, uniform_workload
+
+
+def async_config(**kw):
+    defaults = dict(
+        total_accesses=120_000,
+        chunk_size=30_000,
+        ddr_pages=512,
+        cxl_pages=4096,
+        checkpoints=3,
+        pages_per_gb=1024,
+        migration_mode="async",
+    )
+    defaults.update(kw)
+    return SimConfig(**defaults)
+
+
+def num_epochs(cfg):
+    return (cfg.total_accesses + cfg.chunk_size - 1) // cfg.chunk_size
+
+
+class TestWiring:
+    def test_instant_mode_has_no_async_engine(self):
+        sim = Simulation(
+            uniform_workload(footprint_pages=1024, seed=0),
+            async_config(migration_mode="instant"),
+            policy="anb",
+        )
+        assert sim.async_engine is None
+
+    def test_async_mode_builds_engine(self):
+        sim = Simulation(
+            uniform_workload(footprint_pages=1024, seed=0),
+            async_config(),
+            policy="anb",
+        )
+        assert sim.async_engine is not None
+        assert sim.async_engine.config.inflight_budget == (
+            sim.config.migration_inflight_budget
+        )
+
+    def test_extra_carries_async_stats(self):
+        r = run_policy(build("mcf", seed=0), "anb", async_config())
+        assert r.extra["mig_enqueued"] > 0
+        assert r.extra["mig_committed"] > 0
+        assert "mig_pending" in r.extra
+
+    def test_instant_extra_has_no_async_stats(self):
+        r = run_policy(build("mcf", seed=0), "anb",
+                       async_config(migration_mode="instant"))
+        assert "mig_enqueued" not in r.extra
+
+
+class TestAbortInjection:
+    def run_injected(self, policy="anb", **kw):
+        cfg = async_config(migration_abort_rate=0.3, **kw)
+        return run_policy(build("mcf", seed=0), policy, cfg), cfg
+
+    def test_run_completes_with_aborts_and_retries(self):
+        r, _ = self.run_injected()
+        assert r.extra["mig_aborted"] > 0
+        assert r.extra["mig_aborted_injected"] > 0
+        assert r.extra["mig_retries"] > 0
+        assert r.extra["mig_committed"] > 0
+
+    def test_aborted_totals_decompose(self):
+        r, _ = self.run_injected()
+        assert r.extra["mig_aborted"] == (
+            r.extra["mig_aborted_dirty"]
+            + r.extra["mig_aborted_injected"]
+            + r.extra["mig_aborted_enomem"]
+        )
+
+    def test_committed_bounded_by_budget(self):
+        r, cfg = self.run_injected(migration_inflight_budget=32)
+        assert r.extra["mig_committed"] <= (
+            cfg.migration_inflight_budget * num_epochs(cfg)
+        )
+        # Copies (the thing the budget actually meters) obey it too.
+        assert r.extra["mig_pages_copied"] <= (
+            cfg.migration_inflight_budget * num_epochs(cfg)
+        )
+
+    def test_m5_promoter_feeds_queue(self):
+        r, _ = self.run_injected(policy="m5-hpt")
+        assert r.extra["mig_enqueued"] > 0
+        assert r.extra["mig_committed"] > 0
+
+    def test_deterministic_across_runs(self):
+        a, _ = self.run_injected()
+        b, _ = self.run_injected()
+        assert a.extra == b.extra
+
+
+class TestTelemetryIntegration:
+    def test_migration_events_published(self):
+        bus = TelemetryBus([RingBufferSink()])
+        cfg = async_config(migration_abort_rate=0.3)
+        r = run_policy(build("mcf", seed=0), "anb", cfg, telemetry=bus)
+        stages = {e["stage"] for e in r.timeline}
+        assert "migration.enqueue" in stages
+        assert "migration.commit" in stages
+        assert "migration.abort" in stages
+        assert "migration.retry" in stages
+
+    def test_timeline_pivot_matches_run_stats(self):
+        bus = TelemetryBus([RingBufferSink()])
+        cfg = async_config(migration_abort_rate=0.3)
+        r = run_policy(build("mcf", seed=0), "anb", cfg, telemetry=bus)
+        totals = migration_outcome_totals(r.timeline)
+        assert totals["committed"] == r.extra["mig_committed"]
+        assert totals["aborted"] == r.extra["mig_aborted"]
+        frame = migration_outcomes(r.timeline)
+        assert len(frame["epoch"]) == totals["epochs_active"]
+
+    def test_instant_mode_publishes_no_migration_events(self):
+        bus = TelemetryBus([RingBufferSink()])
+        r = run_policy(build("mcf", seed=0), "anb",
+                       async_config(migration_mode="instant"), telemetry=bus)
+        assert migration_outcomes(r.timeline) == {}
+
+
+class TestPerfAccounting:
+    def test_copy_traffic_charged_as_contention(self):
+        """Migration copy bytes make an epoch strictly slower than the
+        same demand traffic without them."""
+        from repro.sim.perf import PerformanceModel
+
+        spec = build("mcf", seed=0).spec
+        cfg = async_config()
+        free = PerformanceModel(cfg, spec)
+        charged = PerformanceModel(cfg, spec)
+        base = free.record_epoch(10_000, 10_000, 0.0, 0.0)
+        loaded = charged.record_epoch(
+            10_000, 10_000, 0.0, 0.0, migration_bytes=64 * 4096.0
+        )
+        assert loaded.memory_s > base.memory_s
+
+    def test_async_run_carries_copy_traffic(self):
+        r = run_policy(build("mcf", seed=0), "anb", async_config())
+        assert r.extra["mig_pages_copied"] > 0
+        assert r.extra["mig_copy_bytes"] == pytest.approx(
+            r.extra["mig_pages_copied"] * 4096.0
+        )

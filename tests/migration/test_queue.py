@@ -1,0 +1,109 @@
+"""Tests for the bounded, deduplicating migration queue."""
+
+import pytest
+
+from repro.migration import Direction, MigrationQueue
+
+
+class TestBounds:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MigrationQueue(capacity=0)
+
+    def test_push_until_full_then_drop(self):
+        q = MigrationQueue(capacity=2)
+        assert q.push(0, Direction.PROMOTE)
+        assert q.push(1, Direction.PROMOTE)
+        assert not q.push(2, Direction.PROMOTE)
+        assert len(q) == 2
+        assert q.dropped_full == 1
+        assert q.free_slots == 0
+
+    def test_push_many_counts_accepted(self):
+        q = MigrationQueue(capacity=3)
+        assert q.push_many([0, 1, 2, 3, 4], Direction.PROMOTE) == 3
+        assert q.dropped_full == 2
+
+
+class TestDedupe:
+    def test_duplicate_page_is_noop(self):
+        q = MigrationQueue()
+        assert q.push(7, Direction.PROMOTE)
+        assert not q.push(7, Direction.PROMOTE)
+        assert not q.push(7, Direction.DEMOTE)
+        assert len(q) == 1
+        assert q.duplicates == 2
+
+    def test_contains_tracks_queued_pages(self):
+        q = MigrationQueue()
+        q.push(7, Direction.PROMOTE)
+        assert 7 in q
+        assert 8 not in q
+
+    def test_release_makes_page_nominatable_again(self):
+        q = MigrationQueue()
+        q.push(7, Direction.PROMOTE)
+        (req,) = q.take(epoch=0)
+        assert 7 in q  # reservation held while in flight
+        q.release(req.lpage)
+        assert 7 not in q
+        assert q.push(7, Direction.PROMOTE)
+
+    def test_take_keeps_reservation_until_settled(self):
+        q = MigrationQueue()
+        q.push(7, Direction.PROMOTE)
+        q.take(epoch=0)
+        assert not q.push(7, Direction.PROMOTE)
+        assert q.duplicates == 1
+
+
+class TestOrderingAndBackoff:
+    def test_fifo_order(self):
+        q = MigrationQueue()
+        q.push_many([3, 1, 2], Direction.PROMOTE)
+        assert [r.lpage for r in q.take(epoch=0)] == [3, 1, 2]
+
+    def test_take_respects_limit(self):
+        q = MigrationQueue()
+        q.push_many([0, 1, 2], Direction.PROMOTE)
+        assert len(q.take(epoch=0, limit=2)) == 2
+        assert len(q) == 1
+
+    def test_backoff_gated_requests_skipped(self):
+        q = MigrationQueue()
+        q.push(0, Direction.PROMOTE)
+        (req,) = q.take(epoch=0)
+        q.requeue(req, not_before_epoch=5)
+        assert q.take(epoch=4) == []
+        assert len(q) == 1
+        taken = q.take(epoch=5)
+        assert [r.lpage for r in taken] == [0]
+
+    def test_gated_requests_keep_queue_order(self):
+        q = MigrationQueue()
+        q.push(0, Direction.PROMOTE)
+        (gated,) = q.take(epoch=0)
+        q.requeue(gated, not_before_epoch=10)
+        q.push_many([1, 2], Direction.PROMOTE)
+        # Epoch 1: gated request skipped, eligible ones flow FIFO.
+        assert [r.lpage for r in q.take(epoch=1)] == [1, 2]
+        # The gated request kept its place at the front.
+        assert [r.lpage for r in q.take(epoch=10)] == [0]
+
+    def test_unget_returns_to_front(self):
+        q = MigrationQueue()
+        q.push_many([0, 1, 2], Direction.PROMOTE)
+        first, second = q.take(epoch=0, limit=2)
+        q.unget(second)
+        q.unget(first)
+        assert [r.lpage for r in q.take(epoch=0)] == [0, 1, 2]
+
+    def test_requeue_increments_nothing_itself(self):
+        q = MigrationQueue()
+        q.push(0, Direction.PROMOTE)
+        (req,) = q.take(epoch=0)
+        req.retries = 2
+        q.requeue(req, not_before_epoch=3)
+        (again,) = q.take(epoch=3)
+        assert again.retries == 2
+        assert again.not_before_epoch == 3

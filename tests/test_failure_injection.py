@@ -5,7 +5,6 @@ and hostile inputs that normal runs never hit.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.manager import Elector, MonitorSample
 from repro.cxl.controller import CxlController

@@ -6,7 +6,6 @@ check emergent behaviours that no single module owns.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.manager import HPT_DRIVEN, Nominator
 from repro.memory.tiers import NodeKind

@@ -8,7 +8,6 @@ command sequences, and engine accounting identities.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

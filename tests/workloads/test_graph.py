@@ -7,7 +7,6 @@ from repro.workloads.base import WorkloadSpec
 from repro.workloads.graph import (
     EDGES_PER_PAGE,
     VERTICES_PER_PAGE,
-    CsrGraph,
     GraphLayout,
     make_gap_workload,
     preferential_attachment,

@@ -8,8 +8,6 @@ Usage: python tools/calibrate.py [ratio|cdf|sparsity] [bench ...]
 import sys
 import time
 
-import numpy as np
-
 from repro import workloads
 from repro.analysis import AccessCdf, from_wac
 from repro.sim import SimConfig, Simulation
