@@ -34,6 +34,7 @@ from repro.analysis.timeline import (
     migration_outcomes,
     migration_totals,
     occupancy_series,
+    pivot,
     ratio_trajectory,
     timeline_frame,
     timeline_series,
@@ -67,6 +68,7 @@ __all__ = [
     "migration_outcomes",
     "migration_totals",
     "occupancy_series",
+    "pivot",
     "ratio_trajectory",
     "timeline_frame",
     "timeline_series",

@@ -61,9 +61,70 @@ def occupancy_series(timeline: Sequence[Event]) -> Dict[str, List[float]]:
     }
 
 
+#: One pivot column: ``(column_name, stage, payload_field)`` with an
+#: optional fourth element choosing the aggregation — ``"sum"`` (the
+#: default) or ``"last"`` (keep the epoch's final value; right for
+#: level-style fields like queue depth).
+ColumnSpec = Sequence[str]
+
+
+def pivot(
+    timeline: Sequence[Event], columns: Sequence[ColumnSpec]
+) -> Dict[str, List[float]]:
+    """Pivot per-event payloads into per-epoch columns.
+
+    Groups every event whose ``stage`` appears in ``columns`` by
+    epoch, aggregates each column's field across the epoch's matching
+    events, and returns ``{"epoch": [...], col: [...]}`` — equal-length
+    columns, one row per epoch with at least one matching event,
+    epochs sorted ascending, absent fields reading 0.0.  An empty
+    match returns ``{}``.
+
+    This is the one aggregation loop behind
+    :func:`migration_outcomes` and :func:`migration_totals`; new event
+    families get a table by declaring a column spec instead of
+    re-writing the group-by.
+    """
+    specs = [
+        (c[0], c[1], c[2], c[3] if len(c) > 3 else "sum") for c in columns
+    ]
+    for name, _, _, agg in specs:
+        if agg not in ("sum", "last"):
+            raise ValueError(f"column {name!r}: unknown aggregation {agg!r}")
+    stages = {stage for _, stage, _, _ in specs}
+    rows: Dict[int, Dict[str, float]] = {}
+    for e in timeline:
+        stage = e.get("stage")
+        if stage not in stages:
+            continue
+        epoch = int(e["epoch"])
+        row = rows.setdefault(epoch, {name: 0.0 for name, _, _, _ in specs})
+        for name, at_stage, fieldname, agg in specs:
+            if stage == at_stage and fieldname in e:
+                if agg == "last":
+                    row[name] = float(e[fieldname])
+                else:
+                    row[name] += float(e[fieldname])
+    if not rows:
+        return {}
+    ordered = sorted(rows)
+    out: Dict[str, List[float]] = {"epoch": [float(ep) for ep in ordered]}
+    for name, _, _, _ in specs:
+        out[name] = [rows[ep][name] for ep in ordered]
+    return out
+
+
 def migration_totals(timeline: Sequence[Event]) -> Dict[str, float]:
     """Aggregate promotions/demotions and migration time over the run."""
-    frame = timeline_frame(timeline)
+    frame = pivot(
+        timeline,
+        (
+            ("promoted", "epoch", "promoted"),
+            ("demoted", "epoch", "demoted"),
+            ("migration_us", "epoch", "migration_us"),
+            ("overhead_us", "epoch", "overhead_us"),
+        ),
+    )
     return {
         "promoted": sum(frame.get("promoted", [])),
         "demoted": sum(frame.get("demoted", [])),
@@ -77,8 +138,10 @@ def ratio_trajectory(timeline: Sequence[Event]) -> List[float]:
     return timeline_series(timeline, "ratio", stage="ratio")
 
 
-#: Per-epoch columns of :func:`migration_outcomes`, and the payload
-#: field each one sums from the ``migration.*`` event carrying it.
+#: Per-epoch columns of :func:`migration_outcomes` — a :func:`pivot`
+#: column spec over the async subsystem's ``migration.*`` events.
+#: ``pending`` is a level (queue depth after the epoch's enqueues), so
+#: it keeps the epoch's last value instead of summing.
 _MIGRATION_COLUMNS = (
     ("enqueued", "migration.enqueue", "enqueued"),
     ("dropped_full", "migration.enqueue", "dropped_full"),
@@ -91,6 +154,7 @@ _MIGRATION_COLUMNS = (
     ("aborted_enomem", "migration.abort", "enomem"),
     ("retried", "migration.retry", "retried"),
     ("dropped_retries", "migration.retry", "dropped"),
+    ("pending", "migration.enqueue", "pending", "last"),
 )
 
 
@@ -103,36 +167,15 @@ def migration_outcomes(timeline: Sequence[Event]) -> Dict[str, List[float]]:
     plot directly.  Empty dict when the run produced no migration
     events (instant mode).
     """
-    epochs: Dict[int, Dict[str, float]] = {}
-    pending: Dict[int, float] = {}
-    for e in timeline:
-        stage = str(e.get("stage", ""))
-        if not stage.startswith("migration."):
-            continue
-        epoch = int(e["epoch"])
-        row = epochs.setdefault(
-            epoch, {name: 0.0 for name, _, _ in _MIGRATION_COLUMNS}
-        )
-        for name, at_stage, field in _MIGRATION_COLUMNS:
-            if stage == at_stage and field in e:
-                row[name] += float(e[field])
-        if stage == "migration.enqueue" and "pending" in e:
-            pending[epoch] = float(e["pending"])
-    if not epochs:
-        return {}
-    ordered = sorted(epochs)
-    out: Dict[str, List[float]] = {"epoch": [float(ep) for ep in ordered]}
-    for name, _, _ in _MIGRATION_COLUMNS:
-        out[name] = [epochs[ep][name] for ep in ordered]
-    out["pending"] = [pending.get(ep, 0.0) for ep in ordered]
-    return out
+    return pivot(timeline, _MIGRATION_COLUMNS)
 
 
 def migration_outcome_totals(timeline: Sequence[Event]) -> Dict[str, float]:
     """Whole-run totals of the async subsystem's migration events."""
     frame = migration_outcomes(timeline)
     totals = {
-        name: sum(frame.get(name, [])) for name, _, _ in _MIGRATION_COLUMNS
+        name: sum(frame.get(name, [])) for name, *_ in _MIGRATION_COLUMNS
+        if name != "pending"
     }
     totals["epochs_active"] = float(len(frame.get("epoch", [])))
     totals["peak_pending"] = max(frame.get("pending", []), default=0.0)

@@ -4,11 +4,15 @@ Commands:
 
 * ``list`` — the benchmark registry (Table 3 + Figure 4 extras);
 * ``run`` — one benchmark under one policy, with a summary (pass
-  ``--timeline FILE`` for an epoch-resolution JSONL trace);
+  ``--timeline FILE`` for an epoch-resolution JSONL trace,
+  ``--metrics FILE`` for a Prometheus/JSON metrics snapshot,
+  ``--trace FILE`` for a chrome://tracing span file + flame table);
 * ``compare`` — several policies on one benchmark, normalised to the
   no-migration baseline;
 * ``sweep`` — a benchmark × policy matrix, parallelised across
-  worker processes with ``--jobs``;
+  worker processes with ``--jobs`` (``--metrics FILE`` collects every
+  cell's metrics snapshot);
+* ``metrics`` — pretty-print one metrics snapshot, or diff two;
 * ``profile`` — PAC/WAC offline profile (page heat + word sparsity);
 * ``hwcost`` — the Table 4 tracker cost model.
 """
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import json
 from typing import List, Optional
 
 from repro.analysis import (
@@ -26,13 +31,21 @@ from repro.analysis import (
     print_table,
 )
 from repro.core import hwcost
+from repro.obs import (
+    Observability,
+    diff_snapshots,
+    load_metrics_file,
+    write_chrome_trace,
+)
 from repro.sim import (
     ALL_POLICIES,
     JsonlSink,
     SimConfig,
     Simulation,
     TelemetryBus,
+    collect_matrix,
     matrix_means,
+    normalized,
     run_matrix,
 )
 from repro.workloads import registry
@@ -73,6 +86,37 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _write_metrics_snapshot(path: str, obs: Observability) -> None:
+    """Write the registry snapshot: JSON for ``*.json``, else the
+    Prometheus text exposition format."""
+    if path.endswith(".json"):
+        with open(path, "w") as fh:
+            json.dump(obs.snapshot(), fh, indent=2)
+    else:
+        with open(path, "w") as fh:
+            fh.write(obs.prometheus())
+
+
+def _print_flame_table(obs: Observability) -> None:
+    rows = [
+        [r["name"], int(r["count"]), r["total_s"], r["self_s"],
+         r["total_sim_s"]]
+        for r in obs.flame_table()
+    ]
+    if not rows:
+        return
+    print_table(
+        "flame table: wall-clock (and simulated time) per span",
+        ["span", "count", "total_s", "self_s", "sim_s"],
+        rows,
+        precision=4,
+        col_width=14,
+    )
+    coverage = obs.tracer.coverage()
+    print(f"stage coverage: {coverage * 100.0:.1f}% of the run span's "
+          "wall-clock is inside per-stage spans")
+
+
 def cmd_run(args) -> int:
     workload = registry.build(args.bench, seed=args.seed)
     telemetry = None
@@ -83,14 +127,30 @@ def cmd_run(args) -> int:
             print(f"cannot write timeline file: {exc}")
             return 2
         telemetry = TelemetryBus([JsonlSink(args.timeline)])
+    obs = None
+    if args.metrics or args.trace:
+        obs = Observability(metrics=bool(args.metrics),
+                            tracing=bool(args.trace))
     sim = Simulation(
-        workload, _config_from(args), policy=args.policy, telemetry=telemetry
+        workload, _config_from(args), policy=args.policy,
+        telemetry=telemetry, obs=obs,
     )
     result = sim.run()
     if telemetry is not None:
         telemetry.close()
         print(f"epoch timeline written to {args.timeline} "
               f"({len(result.timeline)} events)")
+    if result.timeline_dropped:
+        print(f"timeline ring : overflowed; {result.timeline_dropped} "
+              "oldest events dropped (timeline is the tail of the run)")
+    if args.metrics:
+        _write_metrics_snapshot(args.metrics, obs)
+        print(f"metrics snapshot written to {args.metrics}")
+    if args.trace:
+        n_events = write_chrome_trace(args.trace, obs.tracer.spans)
+        print(f"chrome trace written to {args.trace} "
+              f"({n_events} span events; load in chrome://tracing)")
+        _print_flame_table(obs)
     print(f"benchmark     : {result.benchmark}")
     print(f"policy        : {result.policy}")
     print(f"execution time: {result.execution_time_s:.2f} s "
@@ -184,9 +244,34 @@ def cmd_sweep(args) -> int:
         migration_copy_gbps=getattr(args, "mig_copy_gbps", 0.0),
         migration_enomem_policy=getattr(args, "mig_enomem", "demote-first"),
     )
-    matrix = run_matrix(
-        benches, policies, factory, seed=args.seed, jobs=args.jobs
-    )
+    if getattr(args, "metrics", None):
+        results = collect_matrix(
+            benches, policies, factory, seed=args.seed, jobs=args.jobs,
+            with_metrics=True,
+        )
+        matrix = {
+            bench: {
+                p: normalized(results[bench]["none"], results[bench][p])
+                for p in policies
+            }
+            for bench in benches
+        }
+        cell_metrics = {
+            bench: {
+                policy: result.metrics
+                for policy, result in results[bench].items()
+            }
+            for bench in benches
+        }
+        with open(args.metrics, "w") as fh:
+            json.dump(cell_metrics, fh, indent=2)
+        n_cells = sum(len(row) for row in cell_metrics.values())
+        print(f"per-cell metrics written to {args.metrics} "
+              f"({n_cells} cells)")
+    else:
+        matrix = run_matrix(
+            benches, policies, factory, seed=args.seed, jobs=args.jobs
+        )
     rows = [[bench] + [matrix[bench][p] for p in policies] for bench in benches]
     means = matrix_means(matrix)
     rows.append(["mean"] + [means[p] for p in policies])
@@ -195,6 +280,48 @@ def cmd_sweep(args) -> int:
         "performance normalised to no migration",
         ["bench"] + policies,
         rows,
+    )
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    if len(args.files) > 2:
+        print("metrics takes one file (show) or two (diff)")
+        return 2
+    try:
+        flats = [load_metrics_file(path) for path in args.files]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot load metrics file: {exc}")
+        return 2
+    if len(flats) == 1:
+        flat = flats[0]
+        if not flat:
+            print(f"no series in {args.files[0]}")
+            return 0
+        rows = [[key, value] for key, value in sorted(flat.items())]
+        print_table(
+            f"metrics snapshot: {args.files[0]} ({len(rows)} series)",
+            ["series", "value"],
+            rows,
+            precision=3,
+            col_width=44,
+        )
+        return 0
+    diff = diff_snapshots(flats[0], flats[1])
+    changed = [row for row in diff if row["delta"] != 0.0]
+    rows = [[row["series"], row["a"], row["b"], row["delta"]]
+            for row in (diff if args.all else changed)]
+    if not rows:
+        print(f"no differing series across {len(diff)} "
+              "(pass --all to list unchanged series)")
+        return 0
+    print_table(
+        f"metrics diff: {args.files[0]} -> {args.files[1]} "
+        f"({len(changed)} of {len(diff)} series changed)",
+        ["series", "a", "b", "delta"],
+        rows,
+        precision=3,
+        col_width=44,
     )
     return 0
 
@@ -304,6 +431,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoints", type=int, default=10)
     run.add_argument("--timeline", default=None, metavar="FILE",
                      help="write the per-epoch telemetry timeline as JSONL")
+    run.add_argument("--metrics", default=None, metavar="FILE",
+                     help="write a metrics snapshot (JSON if FILE ends "
+                          ".json, else Prometheus text exposition)")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="write pipeline-stage spans as chrome://tracing "
+                          "JSON and print the flame table")
 
     compare = sub.add_parser("compare", help="compare policies")
     add_run_args(compare, with_policy=False)
@@ -324,7 +457,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the matrix cells")
     sweep.add_argument("--no-migrate", action="store_true",
                        help="identification-only mode (§4.1 S1)")
+    sweep.add_argument("--metrics", default=None, metavar="FILE",
+                       help="collect every cell's metrics snapshot into "
+                            "one JSON file keyed bench -> policy")
     add_migration_args(sweep)
+
+    metrics = sub.add_parser(
+        "metrics", help="pretty-print one metrics snapshot, or diff two"
+    )
+    metrics.add_argument("files", nargs="+", metavar="FILE",
+                         help="snapshot files (.json or .prom); one file "
+                              "shows it, two files diff them")
+    metrics.add_argument("--all", action="store_true",
+                         help="diff: also list unchanged series")
 
     profile = sub.add_parser("profile", help="PAC/WAC offline profile")
     add_run_args(profile, with_policy=False)
@@ -345,6 +490,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "metrics": cmd_metrics,
         "profile": cmd_profile,
         "report": cmd_report,
         "hwcost": cmd_hwcost,

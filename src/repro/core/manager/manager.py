@@ -58,6 +58,11 @@ class M5Manager:
             :class:`~repro.migration.engine.AsyncMigrationEngine`;
             when set, Promoter feeds its bounded queue instead of
             migrating instantly.
+        metrics: optional
+            :class:`~repro.obs.metrics.MetricsRegistry`; the manager
+            registers activation/nomination/promotion counters and
+            Elector-period / proc-file gauges into it (no-op when the
+            registry is disabled).
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class M5Manager:
         batch_limit: Optional[int] = None,
         dry_run: bool = False,
         async_engine: Optional[object] = None,
+        metrics=None,
     ):
         #: EpochPolicy identifier; the Simulation overwrites it with
         #: the concrete registry name (m5-hpt / m5-hwt / m5-hpt+hwt).
@@ -92,6 +98,34 @@ class M5Manager:
         # Accumulated record of every page the manager nominated, for
         # the access-count-ratio evaluation (§7.2, Figure 8).
         self.nominated_history: list = []
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=False)
+        self._m_activations = metrics.counter(
+            "manager_activations_total",
+            "Elector activations (tracker queries over MMIO)",
+        )
+        self._m_nominated = metrics.counter(
+            "manager_nominations_total", "Pages nominated for promotion"
+        )
+        self._m_promoted = metrics.counter(
+            "manager_promoted_total", "Pages the Promoter moved to DDR"
+        )
+        self._m_enqueued = metrics.counter(
+            "manager_enqueued_total",
+            "Pages the Promoter handed to the async migration queue",
+        )
+        self._m_period = metrics.gauge(
+            "elector_period_seconds", "Elector's most recent period T"
+        )
+        self._m_proc_pending = metrics.gauge(
+            "promoter_procfile_pending", "PFNs buffered in the proc file"
+        )
+        self._m_proc_dropped = metrics.gauge(
+            "promoter_procfile_dropped_total",
+            "PFNs truncated by the bounded proc file",
+        )
 
     def step(self, now_s: float) -> ManagerStepResult:
         """Run one epoch: sample Monitor, maybe run Algorithm 1 body.
@@ -104,6 +138,8 @@ class M5Manager:
         result = ManagerStepResult(decision=decision)
         if decision is None:
             return result
+        self._m_activations.inc()
+        self._m_period.set(decision.period_s)
         # An activation queries the trackers regardless of the migrate
         # verdict (the query itself resets them for the next window).
         self.nominator.update_from_hpt(self.hpt.query())
@@ -120,10 +156,15 @@ class M5Manager:
             nomination = self.nominator.nominate(limit=self.batch_limit)
             result.nominated = len(nomination.pfns)
             self.nominated_history.extend(nomination.pfns)
+            self._m_nominated.inc(result.nominated)
             if nomination.pfns and not self.dry_run:
                 report = self.promoter.promote(nomination.pfns)
                 result.promoted = report.promoted
                 result.enqueued = report.enqueued
+                self._m_promoted.inc(result.promoted)
+                self._m_enqueued.inc(result.enqueued)
+        self._m_proc_pending.set(len(self.promoter.proc_file.pending))
+        self._m_proc_dropped.set(self.promoter.proc_file.dropped)
         return result
 
     # ------------------------------------------------------------------

@@ -40,22 +40,47 @@ class CxlController:
             controller serves.
         access_latency_ns: full load-to-use latency of device DRAM as
             seen by the host CPU.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, the controller registers request/drop counters
+            and an attached-AFU gauge (no-op when the registry is
+            disabled).
     """
 
-    def __init__(self, region: AddressRegion, access_latency_ns: float = 270.0):
+    def __init__(
+        self,
+        region: AddressRegion,
+        access_latency_ns: float = 270.0,
+        metrics=None,
+    ):
         self.region = region
         self.access_latency_ns = float(access_latency_ns)
         self._snoops: List[AddressSnoop] = []
         self.requests_served = 0
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=False)
+        self._m_requests = metrics.counter(
+            "cxl_requests_total", "Host requests served by the CXL device"
+        )
+        self._m_out_of_region = metrics.counter(
+            "cxl_out_of_region_total",
+            "Requests dropped because they target another node",
+        )
+        self._m_snoops = metrics.gauge(
+            "cxl_attached_snoops", "AFU snoop functions on the request path"
+        )
 
     def attach(self, snoop: AddressSnoop) -> None:
         """Attach an AFU function (PAC, WAC, HPT, HWT, ...)."""
         if not hasattr(snoop, "observe"):
             raise TypeError("snoop must expose observe(addresses)")
         self._snoops.append(snoop)
+        self._m_snoops.set(len(self._snoops))
 
     def detach(self, snoop: AddressSnoop) -> None:
         self._snoops.remove(snoop)
+        self._m_snoops.set(len(self._snoops))
 
     @property
     def snoops(self) -> tuple:
@@ -72,12 +97,15 @@ class CxlController:
             Number of requests actually served by this device.
         """
         pa = np.asarray(addresses, dtype=np.uint64)
-        pa = pa[self.region.contains(pa)]
+        in_region = pa[self.region.contains(pa)]
+        self._m_out_of_region.inc(int(pa.size - in_region.size))
+        pa = in_region
         if pa.size == 0:
             return 0
         for snoop in self._snoops:
             snoop.observe(pa)
         self.requests_served += int(pa.size)
+        self._m_requests.inc(int(pa.size))
         return int(pa.size)
 
     def service_time_ns(self, num_requests: int, parallelism: float = 1.0) -> float:

@@ -121,10 +121,38 @@ class AsyncMigrationEngine:
         engine: MigrationEngine,
         config: Optional[AsyncMigrationConfig] = None,
         injector: Optional[FailureInjector] = None,
+        metrics=None,
     ):
         self.engine = engine
         self.config = config if config is not None else AsyncMigrationConfig()
         self.queue = MigrationQueue(self.config.queue_capacity)
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=False)
+        self._m_enqueued = metrics.counter(
+            "migration_enqueued_total", "Requests accepted into the queue"
+        )
+        self._m_dropped_full = metrics.counter(
+            "migration_dropped_queue_full_total",
+            "Requests dropped because the bounded queue was full",
+        )
+        self._m_outcomes = metrics.counter(
+            "migration_outcomes_total",
+            "Transaction outcomes per tick settlement",
+            labels=("outcome",),
+        )
+        self._m_copy_bytes = metrics.counter(
+            "migration_copy_bytes_total", "Model bytes moved by the copy engine"
+        )
+        self._m_pending = metrics.gauge(
+            "migration_pending", "Requests queued after the latest tick"
+        )
+        self._m_batch = metrics.histogram(
+            "migration_tick_attempts",
+            "Transactions attempted per tick",
+            buckets=tuple(float(1 << e) for e in range(0, 13)),
+        )
         self.injector = (
             injector
             if injector is not None
@@ -160,6 +188,8 @@ class AsyncMigrationEngine:
         self.stats.enqueued += accepted
         self.stats.duplicates += self.queue.duplicates - dup_before
         self.stats.dropped_queue_full += self.queue.dropped_full - full_before
+        self._m_enqueued.inc(accepted)
+        self._m_dropped_full.inc(self.queue.dropped_full - full_before)
         return accepted
 
     def enqueue_promotions(self, lpages: Iterable[int]) -> int:
@@ -210,6 +240,8 @@ class AsyncMigrationEngine:
         report.copy_bytes += result.copies * PAGE_SIZE
         self.stats.pages_copied += result.copies
         self.stats.copy_bytes += result.copies * PAGE_SIZE
+        self._m_outcomes.labels(outcome=outcome.value).inc()
+        self._m_copy_bytes.inc(result.copies * PAGE_SIZE)
         if result.fallback_victim is not None:
             # The demote-first victim committed even if the promotion
             # itself later aborted.
@@ -303,6 +335,9 @@ class AsyncMigrationEngine:
             result = self.copier.execute(request, dirty)
             self._settle(request, result, report, epoch)
             budget -= result.copies
+        if report.attempted:
+            self._m_batch.observe(float(report.attempted))
+        self._m_pending.set(len(self.queue))
         self.last_report = report
         return report
 

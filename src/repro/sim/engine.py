@@ -33,6 +33,16 @@ demotions, policy overhead, migration time, ratio checkpoints) to a
 :class:`~repro.sim.telemetry.TelemetryBus`; a ring-buffer sink is
 attached by default and surfaces as ``RunResult.timeline``.
 
+Passing an :class:`~repro.obs.Observability` bundle turns on the
+observability layer: the engine, manager, async migration engine, and
+CXL controller register counters/gauges/histograms into its metrics
+registry (snapshotted onto ``RunResult.metrics``), and the run loop
+wraps every stage in a tracing span (wall + simulated time, with the
+async migration tick nested underneath ``stage.migrate``) for the
+per-run flame table and Chrome-trace export.  Without it, the shared
+disabled instance makes every instrument a no-op and the loop runs
+the uninstrumented seed path.
+
 ``config.migrate = False`` selects the identification-only mode
 (§4.1 S1): policies build their hot-page lists but nothing moves, so
 PAC's counts score them cleanly.
@@ -52,6 +62,7 @@ queue's behaviour).  Instant mode stays the default.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -87,6 +98,7 @@ from repro.memory.migration import MigrationCostModel, MigrationEngine
 from repro.memory.mglru import MultiGenLru
 from repro.memory.tiers import NodeKind, TieredMemory
 from repro.migration import AsyncMigrationConfig, AsyncMigrationEngine, TickReport
+from repro.obs import NULL_OBS, Observability
 from repro.sim.config import SimConfig
 from repro.sim.perf import EpochPerf, PerformanceModel
 from repro.sim.telemetry import RingBufferSink, TelemetryBus
@@ -140,6 +152,13 @@ class RunResult:
     #: sink): tier occupancy, promotions/demotions, overhead and
     #: migration time per epoch, plus ratio checkpoints.
     timeline: List[Dict[str, float]] = field(default_factory=list)
+    #: Events the ring-buffer sink evicted because it was full; a
+    #: non-zero value means ``timeline`` is the *tail* of the run.
+    timeline_dropped: int = 0
+    #: Metrics-registry snapshot (see :mod:`repro.obs`); populated
+    #: only when the run's :class:`~repro.obs.Observability` has
+    #: metrics enabled.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def access_count_ratio(self) -> Optional[float]:
@@ -224,6 +243,10 @@ class Simulation:
             always populated.
         timeline_capacity: ring-buffer size for the default timeline
             sink.
+        obs: an :class:`~repro.obs.Observability` bundle (metrics
+            registry + stage tracer).  Omitted, the shared disabled
+            instance is used: every instrument is a no-op and the
+            pipeline is bit-identical to the uninstrumented engine.
     """
 
     def __init__(
@@ -235,6 +258,7 @@ class Simulation:
         enable_wac: bool = False,
         telemetry: Optional[TelemetryBus] = None,
         timeline_capacity: int = 4096,
+        obs: Optional[Observability] = None,
     ):
         self.workload = workload
         self.config = config if config is not None else SimConfig()
@@ -242,6 +266,7 @@ class Simulation:
             raise ValueError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")
         self.policy_name = policy
         self.m5_options = m5_options if m5_options is not None else M5Options()
+        self.obs = obs if obs is not None else NULL_OBS
         self.telemetry = telemetry if telemetry is not None else TelemetryBus()
         self._timeline = self.telemetry.attach(RingBufferSink(timeline_capacity))
 
@@ -267,7 +292,9 @@ class Simulation:
         self._promoter_dropped_prev = 0
         if self.config.migration_mode == "async":
             self.async_engine = AsyncMigrationEngine(
-                self.engine, AsyncMigrationConfig.from_sim_config(self.config)
+                self.engine,
+                AsyncMigrationConfig.from_sim_config(self.config),
+                metrics=self.obs.registry,
             )
             # Dirty-page model RNG, independent of the workload's
             # stream so instant-mode traces are untouched.
@@ -275,7 +302,9 @@ class Simulation:
                 np.random.SeedSequence([self.config.seed, 0xD117])
             )
         self.controller = CxlController(
-            self.memory.cxl.region, access_latency_ns=self.config.cxl_latency_ns
+            self.memory.cxl.region,
+            access_latency_ns=self.config.cxl_latency_ns,
+            metrics=self.obs.registry,
         )
         self.pac = PageAccessCounter(self.memory.cxl.region)
         self.controller.attach(self.pac)
@@ -302,7 +331,54 @@ class Simulation:
             self._stage_perf,
             self._stage_checkpoint,
         )
+        self._register_engine_metrics()
         self.result: Optional[RunResult] = None
+
+    def _register_engine_metrics(self) -> None:
+        """Declare the engine's instruments (no-ops when obs is off).
+
+        The labelled series are resolved once here so the per-epoch
+        hot path does a plain attribute call, never a dict lookup.
+        """
+        reg = self.obs.registry
+        self._m_epochs = reg.counter(
+            "sim_epochs_total", "Pipeline epochs executed"
+        )
+        accesses = reg.counter(
+            "sim_accesses_total", "Demand accesses by serving tier",
+            labels=("tier",),
+        )
+        self._mx_acc_ddr = accesses.labels(tier="ddr")
+        self._mx_acc_cxl = accesses.labels(tier="cxl")
+        migrated = reg.counter(
+            "sim_migrated_pages_total", "Pages moved by the migrate stage",
+            labels=("direction",),
+        )
+        self._mx_promoted = migrated.labels(direction="promote")
+        self._mx_demoted = migrated.labels(direction="demote")
+        tier_pages = reg.gauge(
+            "tier_resident_pages", "Resident pages per tier at run end",
+            labels=("tier",),
+        )
+        self._mx_pages_ddr = tier_pages.labels(tier="ddr")
+        self._mx_pages_cxl = tier_pages.labels(tier="cxl")
+        self._m_sim_seconds = reg.gauge(
+            "sim_time_seconds", "Simulated clock at run end"
+        )
+        self._m_ring_dropped = reg.gauge(
+            "telemetry_ring_dropped_total",
+            "Timeline events evicted from the ring-buffer sink",
+        )
+        stage_seconds = reg.histogram(
+            "pipeline_stage_seconds", "Wall-clock spent per pipeline stage",
+            labels=("stage",),
+        )
+        names = ("trace", "translate", "snoop", "policy", "migrate",
+                 "perf", "checkpoint")
+        self._stage_obs = tuple(
+            (f"stage.{name}", stage_seconds.labels(stage=name))
+            for name in names
+        )
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -375,6 +451,7 @@ class Simulation:
             batch_limit=self.config.migration_batch,
             dry_run=not self.config.migrate,
             async_engine=self.async_engine,
+            metrics=self.obs.registry,
         )
         manager.name = name
         return manager
@@ -482,9 +559,19 @@ class Simulation:
         victims = policy.demotion_victims(st.view)
         if victims.size:
             eng.enqueue_demotions(victims)
-        st.tick = eng.tick(
-            st.epoch, self._epoch_dirty_pages(st), epoch_s=st.epoch_s_estimate
-        )
+        # The transactional tick is a child span under stage.migrate,
+        # so migration transactions show up nested in the flame table
+        # and the Chrome trace.
+        with self.obs.tracer.span("migrate.tick") as span:
+            st.tick = eng.tick(
+                st.epoch, self._epoch_dirty_pages(st),
+                epoch_s=st.epoch_s_estimate,
+            )
+            span.set(
+                attempted=st.tick.attempted,
+                committed=st.tick.committed,
+                aborted=st.tick.aborted,
+            )
         if not self.telemetry.active:
             return
         report = st.tick
@@ -545,6 +632,8 @@ class Simulation:
         self.mglru.age()
         promoted = self.engine.stats.promoted - st.promoted_before
         demoted = self.engine.stats.demoted - st.demoted_before
+        self._mx_promoted.inc(promoted)
+        self._mx_demoted.inc(demoted)
         if self.telemetry.active and (promoted or demoted):
             self.telemetry.publish(
                 "migrate", st.epoch, st.now_s, promoted=promoted, demoted=demoted
@@ -556,6 +645,8 @@ class Simulation:
         st.migration_us_prev = self.engine.stats.time_us
         n_ddr = self.memory.ddr.accesses_this_epoch
         n_cxl = self.memory.cxl.accesses_this_epoch
+        self._mx_acc_ddr.inc(n_ddr)
+        self._mx_acc_cxl.inc(n_cxl)
         st.perf = self.perf.record_epoch(
             n_ddr,
             n_cxl,
@@ -612,11 +703,18 @@ class Simulation:
                 / self.perf.cores
             ),
         )
-        while st.remaining > 0:
-            st.epoch += 1
-            for stage in self.stages:
-                stage(policy, st)
+        if self.obs.enabled:
+            self._run_instrumented(policy, st)
+        else:
+            while st.remaining > 0:
+                st.epoch += 1
+                for stage in self.stages:
+                    stage(policy, st)
 
+        self._mx_pages_ddr.set(self.memory.nr_pages(NodeKind.DDR))
+        self._mx_pages_cxl.set(self.memory.nr_pages(NodeKind.CXL))
+        self._m_sim_seconds.set(st.now_s)
+        self._m_ring_dropped.set(self._timeline.dropped)
         self.result = RunResult(
             benchmark=spec.name,
             policy=self.policy_name,
@@ -635,11 +733,39 @@ class Simulation:
             nr_pages_cxl=self.memory.nr_pages(NodeKind.CXL),
             overhead_events=policy.overhead_events(),
             timeline=self._timeline.events,
+            timeline_dropped=self._timeline.dropped,
         )
         if self.async_engine is not None:
             self.result.extra.update(self.async_engine.stats.as_extra())
             self.result.extra["mig_pending"] = float(self.async_engine.pending)
+        if self.obs.metrics_on:
+            self.result.metrics = self.obs.snapshot()
         return self.result
+
+    def _run_instrumented(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """The epoch loop with stage spans and stage-latency metrics.
+
+        Kept as a separate loop so the observability-off path stays
+        exactly the seed loop (no per-stage clock reads at all).  The
+        ``run`` root span wraps the whole loop; per-stage spans are its
+        children, so the flame table's stage rows account for ≥95% of
+        the measured run wall-clock.
+        """
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.sim_clock = lambda: st.now_s
+            if tracer.bus is None:
+                tracer.bus = self.telemetry
+        with tracer.span("run"):
+            while st.remaining > 0:
+                st.epoch += 1
+                tracer.current_epoch = st.epoch
+                self._m_epochs.inc()
+                for (name, hist), stage in zip(self._stage_obs, self.stages):
+                    t0 = time.perf_counter()
+                    with tracer.span(name):
+                        stage(policy, st)
+                    hist.observe(time.perf_counter() - t0)
 
 
 def run_policy(
@@ -649,6 +775,7 @@ def run_policy(
     m5_options: Optional[M5Options] = None,
     enable_wac: bool = False,
     telemetry: Optional[TelemetryBus] = None,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
     """Convenience one-shot runner."""
     sim = Simulation(
@@ -658,5 +785,6 @@ def run_policy(
         m5_options=m5_options,
         enable_wac=enable_wac,
         telemetry=telemetry,
+        obs=obs,
     )
     return sim.run()

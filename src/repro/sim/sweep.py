@@ -25,6 +25,7 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs import Observability
 from repro.sim.config import SimConfig
 from repro.sim.engine import M5Options, RunResult, Simulation
 from repro.workloads import registry
@@ -49,12 +50,23 @@ def run_one(
     seed: int = 1,
     m5_options: Optional[M5Options] = None,
     pages_per_gb: Optional[int] = None,
+    with_metrics: bool = False,
 ) -> RunResult:
-    """Build the benchmark fresh and run it under one policy."""
+    """Build the benchmark fresh and run it under one policy.
+
+    ``with_metrics=True`` runs the cell with the metrics registry
+    enabled (tracing stays off — span timing is meaningless when the
+    matrix fans out over loaded worker processes) and attaches the
+    snapshot to ``RunResult.metrics``.  A plain bool rather than an
+    ``Observability`` object so matrix cells stay picklable.
+    """
     workload = registry.build(
         bench, seed=seed, pages_per_gb=pages_per_gb or registry.PAGES_PER_GB
     )
-    sim = Simulation(workload, config, policy=policy, m5_options=m5_options)
+    obs = Observability(metrics=True, tracing=False) if with_metrics else None
+    sim = Simulation(
+        workload, config, policy=policy, m5_options=m5_options, obs=obs
+    )
     return sim.run()
 
 
@@ -78,14 +90,18 @@ def normalized(base: RunResult, result: RunResult) -> float:
     return base.execution_time_s / result.execution_time_s
 
 
-#: One matrix cell: (bench, policy, config, seed, m5_options).
-_Cell = Tuple[str, str, SimConfig, int, Optional[M5Options]]
+#: One matrix cell: (bench, policy, config, seed, m5_options,
+#: with_metrics).
+_Cell = Tuple[str, str, SimConfig, int, Optional[M5Options], bool]
 
 
 def _run_cell(cell: _Cell) -> RunResult:
     """Process-pool entry point for one matrix cell."""
-    bench, policy, config, seed, m5_options = cell
-    return run_one(bench, policy, config, seed=seed, m5_options=m5_options)
+    bench, policy, config, seed, m5_options, with_metrics = cell
+    return run_one(
+        bench, policy, config, seed=seed, m5_options=m5_options,
+        with_metrics=with_metrics,
+    )
 
 
 def collect_matrix(
@@ -95,6 +111,7 @@ def collect_matrix(
     seed: int = 1,
     m5_options: Optional[M5Options] = None,
     jobs: int = 1,
+    with_metrics: bool = False,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (bench, policy) pair; returns the raw results.
 
@@ -102,6 +119,9 @@ def collect_matrix(
     reused for the ``"none"`` cell if requested).  ``jobs > 1`` fans
     the cells out over a :class:`ProcessPoolExecutor`; results are
     keyed by cell, so scheduling order cannot change the outcome.
+    ``with_metrics`` enables the per-cell metrics registry, so every
+    ``RunResult.metrics`` carries the cell's snapshot (aggregated by
+    ``repro sweep --metrics``).
     """
     benches = list(benches)
     policies = list(policies)
@@ -112,7 +132,10 @@ def collect_matrix(
         row_seed = cell_seed(seed, bench)
         row_policies = ["none"] + [p for p in policies if p != "none"]
         for policy in row_policies:
-            cells.append((bench, policy, config_factory(), row_seed, m5_options))
+            cells.append(
+                (bench, policy, config_factory(), row_seed, m5_options,
+                 with_metrics)
+            )
 
     if jobs == 1 or len(cells) <= 1:
         outcomes = [_run_cell(cell) for cell in cells]
@@ -121,7 +144,7 @@ def collect_matrix(
             outcomes = list(pool.map(_run_cell, cells))
 
     results: Dict[str, Dict[str, RunResult]] = {b: {} for b in benches}
-    for (bench, policy, _, _, _), outcome in zip(cells, outcomes):
+    for (bench, policy, *_), outcome in zip(cells, outcomes):
         results[bench][policy] = outcome
     return results
 

@@ -47,15 +47,26 @@ class TelemetrySink:
 
 
 class RingBufferSink(TelemetrySink):
-    """Keep the most recent ``capacity`` events in memory."""
+    """Keep the most recent ``capacity`` events in memory.
+
+    Overflow is *counted*, not silent: once the ring is full, every
+    new event evicts the oldest and increments :attr:`dropped`.  The
+    engine surfaces the count as ``RunResult.timeline_dropped`` (and
+    the ``telemetry_ring_dropped_total`` metric), so a truncated
+    timeline is always detectable.
+    """
 
     def __init__(self, capacity: int = 4096):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
         self._events: deque = deque(maxlen=self.capacity)
+        #: Events evicted because the ring was at capacity.
+        self.dropped = 0
 
     def emit(self, event: Event) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
         self._events.append(event)
 
     @property
@@ -67,6 +78,7 @@ class RingBufferSink(TelemetrySink):
 
     def clear(self) -> None:
         self._events.clear()
+        self.dropped = 0
 
 
 class JsonlSink(TelemetrySink):
@@ -75,12 +87,21 @@ class JsonlSink(TelemetrySink):
     Accepts a path (opened lazily on first emit, so constructing a
     sink never creates an empty file) or an already-open file object
     (not closed by :meth:`close` unless the sink opened it).
+
+    The stream is flushed every ``flush_every`` events (as well as on
+    :meth:`close`), so a run that crashes mid-flight still leaves a
+    usable timeline on disk instead of a page of buffered-and-lost
+    events.  ``flush_every=0`` disables periodic flushing.
     """
 
-    def __init__(self, path_or_file):
+    def __init__(self, path_or_file, flush_every: int = 64):
+        if flush_every < 0:
+            raise ValueError("flush_every must be non-negative")
         self._path: Optional[str] = None
         self._fh = None
         self._owns_fh = False
+        self.flush_every = int(flush_every)
+        self._emitted = 0
         if isinstance(path_or_file, (str, bytes)):
             self._path = path_or_file
         else:
@@ -95,6 +116,9 @@ class JsonlSink(TelemetrySink):
             self._fh = open(self._path, "w")
             self._owns_fh = True
         self._fh.write(json.dumps(event) + "\n")
+        self._emitted += 1
+        if self.flush_every and self._emitted % self.flush_every == 0:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None and self._owns_fh:

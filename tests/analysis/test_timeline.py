@@ -1,10 +1,13 @@
 """Tests for the timeline pivot helpers, including migration.* events."""
 
+import pytest
+
 from repro.analysis.timeline import (
     migration_outcome_totals,
     migration_outcomes,
     migration_totals,
     occupancy_series,
+    pivot,
     timeline_frame,
     timeline_series,
 )
@@ -59,6 +62,40 @@ class TestBasicPivots:
         totals = migration_totals(tl)
         assert totals["promoted"] == 5.0
         assert totals["migration_us"] == 12.0
+
+
+class TestPivot:
+    def test_sum_accumulates_within_epoch(self):
+        tl = [mig_event("s", 1, n=2), mig_event("s", 1, n=3),
+              mig_event("s", 2, n=5)]
+        frame = pivot(tl, (("n", "s", "n"),))
+        assert frame == {"epoch": [1.0, 2.0], "n": [5.0, 5.0]}
+
+    def test_last_keeps_final_value(self):
+        tl = [mig_event("s", 1, depth=8), mig_event("s", 1, depth=3)]
+        frame = pivot(tl, (("depth", "s", "depth", "last"),))
+        assert frame["depth"] == [3.0]
+
+    def test_absent_field_reads_zero(self):
+        tl = [mig_event("a", 1, x=1), mig_event("b", 2, y=2)]
+        frame = pivot(tl, (("x", "a", "x"), ("y", "b", "y")))
+        assert frame["x"] == [1.0, 0.0]
+        assert frame["y"] == [0.0, 2.0]
+
+    def test_no_matching_stage_returns_empty(self):
+        assert pivot([epoch_event(1, n=1)], (("n", "other", "n"),)) == {}
+
+    def test_empty_timeline_returns_empty(self):
+        assert pivot([], (("n", "s", "n"),)) == {}
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            pivot([], (("n", "s", "n", "mean"),))
+
+    def test_epochs_sorted_regardless_of_event_order(self):
+        tl = [mig_event("s", 3, n=1), mig_event("s", 1, n=2)]
+        frame = pivot(tl, (("n", "s", "n"),))
+        assert frame["epoch"] == [1.0, 3.0]
 
 
 class TestMigrationOutcomes:

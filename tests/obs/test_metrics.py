@@ -1,0 +1,143 @@
+"""Tests for the metrics registry: families, series, and snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    log2_buckets,
+)
+
+
+class TestBuckets:
+    def test_log2_buckets_are_powers_of_two(self):
+        assert log2_buckets(-2, 2) == (0.25, 0.5, 1.0, 2.0, 4.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            log2_buckets(3, 1)
+
+    def test_duration_buckets_span_us_to_seconds(self):
+        assert DURATION_BUCKETS[0] == 2.0 ** -20
+        assert DURATION_BUCKETS[-1] == 16.0
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(3)
+        g.dec(5)
+        assert g.value == 8.0
+
+    def test_histogram_le_semantics(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 3.0, 100.0):
+            h.observe(v)
+        # le=1 holds 0.5 and the exactly-1.0 observation; 100 -> +Inf.
+        assert h.cumulative() == [
+            (1.0, 2), (2.0, 2), (4.0, 3), (float("inf"), 4),
+        ]
+        assert h.count == 4
+        assert h.sum == 104.5
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total", "other help ignored")
+        assert a is b
+        assert len(reg.families()) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("y_total", labels=("tier",))
+        with pytest.raises(ValueError):
+            reg.counter("y_total", labels=("stage",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad-name")
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("acc_total", labels=("tier",))
+        fam.labels(tier="ddr").inc(2)
+        fam.labels("cxl").inc(5)
+        assert fam.labels("ddr").value == 2.0
+        assert fam.labels("cxl").value == 5.0
+
+    def test_labelless_family_proxies_single_series(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("depth")
+        fam.set(7)
+        assert fam.labels().value == 7.0
+
+    def test_wrong_label_arity_rejected(self):
+        fam = MetricsRegistry().counter("z_total", labels=("tier",))
+        with pytest.raises(ValueError):
+            fam.labels()
+        with pytest.raises(ValueError):
+            fam.labels(stage="x")
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_metric(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x_total")
+        assert c is NULL_METRIC
+        # the whole instrument surface is a no-op
+        c.inc()
+        c.dec()
+        c.set(3)
+        c.observe(1.0)
+        assert c.labels(tier="ddr") is NULL_METRIC
+        assert reg.families() == []
+
+    def test_stores_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("x_total").inc(100)
+        assert reg.snapshot() == {"metrics": []}
+
+
+class TestSnapshot:
+    def test_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter").inc(3)
+        fam = reg.histogram("h_seconds", "a histogram", buckets=(1.0, 2.0))
+        fam.observe(0.5)
+        fam.observe(9.0)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["c_total"]["series"][0]["value"] == 3.0
+        hist = by_name["h_seconds"]["series"][0]
+        assert hist["count"] == 2
+        assert hist["sum"] == 9.5
+        assert hist["buckets"] == [[1.0, 1], [2.0, 1], ["+Inf", 2]]

@@ -1,0 +1,125 @@
+"""Tests for span tracing: nesting, the flame table, and coverage."""
+
+import time
+
+from repro.obs.tracing import NULL_SPAN, Tracer
+from repro.sim.telemetry import RingBufferSink, TelemetryBus
+
+
+class TestSpanNesting:
+    def test_depth_and_parent_child_attribution(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            with tracer.span("stage.migrate"):
+                with tracer.span("migrate.tick"):
+                    time.sleep(0.002)
+        by_name = {r.name: r for r in tracer.spans}
+        assert by_name["run"].depth == 0
+        assert by_name["stage.migrate"].depth == 1
+        assert by_name["migrate.tick"].depth == 2
+        # child time flows up exactly one level
+        assert by_name["stage.migrate"].child_wall_s == (
+            by_name["migrate.tick"].dur_wall_s
+        )
+        assert by_name["run"].child_wall_s == (
+            by_name["stage.migrate"].dur_wall_s
+        )
+        # self time excludes children but never goes negative
+        assert 0.0 <= by_name["stage.migrate"].self_wall_s <= (
+            by_name["stage.migrate"].dur_wall_s
+        )
+
+    def test_spans_record_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.spans] == ["inner", "outer"]
+
+    def test_epoch_stamped_from_tracer(self):
+        tracer = Tracer()
+        tracer.current_epoch = 7
+        with tracer.span("stage.trace"):
+            pass
+        assert tracer.spans[0].epoch == 7
+
+    def test_sim_clock_window(self):
+        tracer = Tracer()
+        clock = {"now": 1.0}
+        tracer.sim_clock = lambda: clock["now"]
+        with tracer.span("stage.perf"):
+            clock["now"] = 3.5
+        (record,) = tracer.spans
+        assert record.start_sim_s == 1.0
+        assert record.dur_sim_s == 2.5
+
+    def test_set_attaches_attrs(self):
+        tracer = Tracer()
+        with tracer.span("migrate.tick") as span:
+            span.set(attempted=4, committed=3)
+        assert tracer.spans[0].attrs == {"attempted": 4, "committed": 3}
+
+
+class TestDisabledTracer:
+    def test_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything")
+        assert span is NULL_SPAN
+        with span as s:
+            s.set(ignored=1)
+        assert tracer.spans == []
+
+
+class TestBusPublication:
+    def test_completed_spans_publish_to_bus(self):
+        ring = RingBufferSink(capacity=16)
+        tracer = Tracer(bus=TelemetryBus([ring]))
+        with tracer.span("stage.trace"):
+            pass
+        events = [e for e in ring.events if e["stage"] == "span"]
+        assert len(events) == 1
+        assert events[0]["name"] == "stage.trace"
+        assert events[0]["wall_us"] >= 0.0
+
+    def test_publish_spans_opt_out(self):
+        ring = RingBufferSink(capacity=16)
+        tracer = Tracer(bus=TelemetryBus([ring]))
+        tracer.publish_spans = False
+        with tracer.span("stage.trace"):
+            pass
+        assert len(ring.events) == 0
+        assert len(tracer.spans) == 1
+
+
+class TestAggregation:
+    def test_flame_table_rows_and_ordering(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            for _ in range(3):
+                with tracer.span("stage.snoop"):
+                    time.sleep(0.001)
+        table = tracer.flame_table()
+        assert [row["name"] for row in table] == ["run", "stage.snoop"]
+        snoop = table[1]
+        assert snoop["count"] == 3
+        assert snoop["total_s"] > 0.0
+        # leaf spans: self == total
+        assert snoop["self_s"] == snoop["total_s"]
+
+    def test_coverage_of_fully_instrumented_root(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            for _ in range(5):
+                with tracer.span("stage.trace"):
+                    time.sleep(0.002)
+        assert tracer.coverage() >= 0.95
+
+    def test_coverage_zero_without_root(self):
+        assert Tracer().coverage() == 0.0
+
+    def test_clear_resets_state(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        tracer.clear()
+        assert tracer.spans == []

@@ -89,6 +89,25 @@ class TestRingBufferSink:
         with pytest.raises(ValueError):
             RingBufferSink(capacity=0)
 
+    def test_dropped_counts_evictions(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(7):
+            ring.emit({"epoch": i})
+        assert ring.dropped == 4
+
+    def test_dropped_zero_without_overflow(self):
+        ring = RingBufferSink(capacity=10)
+        ring.emit({"epoch": 0})
+        assert ring.dropped == 0
+
+    def test_clear_resets_dropped(self):
+        ring = RingBufferSink(capacity=1)
+        ring.emit({"epoch": 0})
+        ring.emit({"epoch": 1})
+        ring.clear()
+        assert ring.dropped == 0
+        assert len(ring) == 0
+
 
 class TestJsonlSink:
     def test_round_trip(self, tmp_path):
@@ -108,6 +127,30 @@ class TestJsonlSink:
         sink = JsonlSink(str(path))
         sink.close()
         assert not path.exists()
+
+    def test_flush_every_n_events(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        sink = JsonlSink(str(path), flush_every=2)
+        sink.emit({"stage": "epoch", "epoch": 1, "t_s": 0.0})
+        flushed_after_one = path.read_text()
+        sink.emit({"stage": "epoch", "epoch": 2, "t_s": 0.1})
+        flushed_after_two = path.read_text()
+        # the first event sits in the buffer; the second triggers a flush
+        assert flushed_after_one == ""
+        assert len(flushed_after_two.splitlines()) == 2
+        sink.close()
+
+    def test_flush_every_zero_defers_to_close(self, tmp_path):
+        path = tmp_path / "deferred.jsonl"
+        sink = JsonlSink(str(path), flush_every=0)
+        for i in range(10):
+            sink.emit({"stage": "epoch", "epoch": i, "t_s": 0.0})
+        sink.close()
+        assert len(read_jsonl(str(path))) == 10
+
+    def test_negative_flush_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(str(tmp_path / "x.jsonl"), flush_every=-1)
 
     def test_accepts_open_file_object(self, tmp_path):
         path = tmp_path / "fh.jsonl"

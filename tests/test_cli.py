@@ -41,6 +41,107 @@ class TestRun:
         assert "p99" in capsys.readouterr().out
 
 
+class TestRunObservability:
+    def test_metrics_prom_file(self, capsys, tmp_path):
+        path = tmp_path / "run.prom"
+        rc = main([
+            "run", "--bench", "mcf", "--policy", "m5-hpt",
+            "--accesses", "100000", "--chunk", "50000",
+            "--metrics", str(path),
+        ])
+        assert rc == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        text = path.read_text()
+        assert "# TYPE sim_epochs_total counter" in text
+        assert "sim_epochs_total 2" in text
+
+    def test_metrics_json_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        rc = main([
+            "run", "--bench", "mcf", "--policy", "m5-hpt",
+            "--accesses", "100000", "--chunk", "50000",
+            "--metrics", str(path),
+        ])
+        assert rc == 0
+        snap = json.loads(path.read_text())
+        assert any(m["name"] == "sim_epochs_total" for m in snap["metrics"])
+
+    def test_trace_file_and_flame_table(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        rc = main([
+            "run", "--bench", "mcf", "--policy", "m5-hpt",
+            "--accesses", "100000", "--chunk", "50000",
+            "--trace", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flame table" in out
+        assert "stage coverage" in out
+        trace = json.loads(path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "run" in names and "stage.perf" in names
+
+
+class TestMetricsCommand:
+    def snapshot_file(self, tmp_path, name, epochs):
+        from repro.obs import Observability, to_prometheus
+
+        obs = Observability(metrics=True, tracing=False)
+        obs.registry.counter("sim_epochs_total").inc(epochs)
+        path = tmp_path / name
+        path.write_text(to_prometheus(obs.snapshot()))
+        return str(path)
+
+    def test_show_one_snapshot(self, capsys, tmp_path):
+        path = self.snapshot_file(tmp_path, "a.prom", 5)
+        assert main(["metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert "sim_epochs_total" in out and "5.000" in out
+
+    def test_diff_two_snapshots(self, capsys, tmp_path):
+        a = self.snapshot_file(tmp_path, "a.prom", 5)
+        b = self.snapshot_file(tmp_path, "b.prom", 8)
+        assert main(["metrics", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "metrics diff" in out and "3.000" in out
+
+    def test_identical_snapshots_report_no_change(self, capsys, tmp_path):
+        a = self.snapshot_file(tmp_path, "a.prom", 5)
+        b = self.snapshot_file(tmp_path, "b.prom", 5)
+        assert main(["metrics", a, b]) == 0
+        assert "no differing series" in capsys.readouterr().out
+
+    def test_missing_file_rejected(self, capsys, tmp_path):
+        rc = main(["metrics", str(tmp_path / "nope.prom")])
+        assert rc == 2
+
+    def test_three_files_rejected(self, capsys, tmp_path):
+        a = self.snapshot_file(tmp_path, "a.prom", 1)
+        assert main(["metrics", a, a, a]) == 2
+
+
+class TestSweepMetrics:
+    def test_per_cell_snapshots_collected(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "cells.json"
+        rc = main([
+            "sweep", "--benches", "mcf", "--policies", "m5-hpt",
+            "--accesses", "100000", "--chunk", "50000",
+            "--metrics", str(path),
+        ])
+        assert rc == 0
+        assert "per-cell metrics written" in capsys.readouterr().out
+        cells = json.loads(path.read_text())
+        assert set(cells["mcf"]) == {"none", "m5-hpt"}
+        names = {m["name"] for m in cells["mcf"]["m5-hpt"]["metrics"]}
+        assert "sim_epochs_total" in names
+
+
 class TestCompare:
     def test_compare_policies(self, capsys):
         rc = main([
