@@ -14,6 +14,9 @@ Commands:
   cell's metrics snapshot);
 * ``metrics`` — pretty-print one metrics snapshot, or diff two;
 * ``profile`` — PAC/WAC offline profile (page heat + word sparsity);
+* ``verify`` — the differential oracle pairs (exact vs batched sketch,
+  PAC cache vs direct mode, instant vs async-unlimited migration) with
+  per-field drift tolerances; non-zero exit on any drift;
 * ``hwcost`` — the Table 4 tracker cost model.
 """
 
@@ -65,6 +68,7 @@ def _config_from(args) -> SimConfig:
         migration_max_retries=getattr(args, "mig_max_retries", 3),
         migration_copy_gbps=getattr(args, "mig_copy_gbps", 0.0),
         migration_enomem_policy=getattr(args, "mig_enomem", "demote-first"),
+        check_invariants=getattr(args, "check_invariants", False),
     )
 
 
@@ -163,6 +167,11 @@ def cmd_run(args) -> int:
     print(f"DDR/CXL pages : {result.nr_pages_ddr} / {result.nr_pages_cxl}")
     if result.access_count_ratio is not None:
         print(f"access-count ratio: {result.access_count_ratio:.3f}")
+    if getattr(args, "check_invariants", False):
+        checks = result.extra.get("invariant_checks", 0.0)
+        violations = result.extra.get("invariant_violations", 0.0)
+        print(f"invariants    : {checks:.0f} checks, "
+              f"{violations:.0f} violations")
     if args.migration_mode == "async":
         ex = result.extra
         print(f"async queue   : enqueued {ex.get('mig_enqueued', 0):.0f}, "
@@ -363,6 +372,44 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import ORACLES, run_all
+
+    names = [n.strip() for n in args.oracles.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ORACLES]
+    if unknown:
+        print(f"unknown oracles: {', '.join(unknown)} "
+              f"(known: {', '.join(ORACLES)})")
+        return 2
+    overrides = {
+        "migration": {
+            "bench": args.bench,
+            "policy": args.policy,
+            "seed": args.seed,
+            "accesses": args.accesses,
+            "chunk": args.chunk,
+        },
+        "sketch": {"seed": args.seed},
+        "pac": {"seed": args.seed},
+    }
+    reports = run_all(names, **{n: overrides.get(n, {}) for n in names})
+    failed = 0
+    for report in reports:
+        print(report.format())
+        if not report.ok:
+            failed += 1
+            for row in report.failures():
+                print(f"  -> drift in {row.field}: "
+                      f"{row.a:g} vs {row.b:g} "
+                      f"(drift {row.drift:.2%} > tol {row.tolerance:.2%})")
+        print()
+    if failed:
+        print(f"VERIFY FAILED: {failed} of {len(reports)} oracle pairs drifted")
+        return 1
+    print(f"verify ok: {len(reports)} oracle pairs agree")
+    return 0
+
+
 def cmd_hwcost(args) -> int:
     rows = []
     for row in hwcost.table4():
@@ -428,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_migration_args(run)
     run.add_argument("--no-migrate", action="store_true",
                      help="identification-only mode (§4.1 S1)")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="run the per-epoch invariant catalogue (counter/"
+                          "tier conservation, tracker/queue bounds); a "
+                          "violation aborts the run")
     run.add_argument("--checkpoints", type=int, default=10)
     run.add_argument("--timeline", default=None, metavar="FILE",
                      help="write the per-epoch telemetry timeline as JSONL")
@@ -479,6 +530,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None,
                         help="write the report to a file instead of stdout")
 
+    verify = sub.add_parser(
+        "verify",
+        help="run the differential oracle pairs (exact vs batched sketch, "
+             "PAC cache vs direct, instant vs async-unlimited migration)",
+    )
+    verify.add_argument("--oracles", default="sketch,pac,migration",
+                        help="comma-separated oracle names to run")
+    verify.add_argument("--bench", default="mcf",
+                        help="benchmark for the migration oracle")
+    verify.add_argument("--policy", default="m5-hpt", choices=ALL_POLICIES,
+                        help="policy for the migration oracle")
+    verify.add_argument("--accesses", type=int, default=400_000)
+    verify.add_argument("--chunk", type=int, default=16_384)
+    verify.add_argument("--seed", type=int, default=1)
+
     sub.add_parser("hwcost", help="Table 4 tracker cost model")
     return parser
 
@@ -493,6 +559,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": cmd_metrics,
         "profile": cmd_profile,
         "report": cmd_report,
+        "verify": cmd_verify,
         "hwcost": cmd_hwcost,
     }[args.command]
     return handler(args)

@@ -33,8 +33,14 @@ class SpaceSaving:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
         self._counts: Dict[int, int] = {}
-        # Lazy min-heap of (count, address); stale entries are skipped.
+        # Lazy min-heap of (count, address); stale entries are skipped
+        # on pop and compacted away once the heap exceeds the bound.
         self._heap: List[Tuple[int, int]] = []
+        # Hits push a fresh (count, address) without removing the stale
+        # entry, so the heap must be compacted periodically or it grows
+        # with the stream instead of the table.  2x capacity keeps the
+        # rebuild amortised O(1) per update.
+        self._heap_bound = 2 * self.capacity
         self.items_seen = 0
 
     def __len__(self) -> int:
@@ -42,6 +48,13 @@ class SpaceSaving:
 
     def __contains__(self, address: int) -> bool:
         return int(address) in self._counts
+
+    def _push(self, address: int, count: int) -> None:
+        """Push an updated entry, compacting stale heap items as needed."""
+        heapq.heappush(self._heap, (count, address))
+        if len(self._heap) > self._heap_bound:
+            self._heap = [(c, a) for a, c in self._counts.items()]
+            heapq.heapify(self._heap)
 
     def _pop_min(self) -> Tuple[int, int]:
         """Pop the current true-minimum entry, skipping stale heap items."""
@@ -66,7 +79,7 @@ class SpaceSaving:
             min_count, _ = self._pop_min()
             new = min_count + int(weight)
         self._counts[address] = new
-        heapq.heappush(self._heap, (new, address))
+        self._push(address, new)
         return new
 
     def update_batch(self, keys: np.ndarray, weights: np.ndarray = None) -> None:
@@ -117,11 +130,11 @@ class MisraGries(SpaceSaving):
         while remaining > 0:
             if address in self._counts:
                 self._counts[address] += remaining
-                heapq.heappush(self._heap, (self._counts[address], address))
+                self._push(address, self._counts[address])
                 return self._counts[address]
             if len(self._counts) < self.capacity:
                 self._counts[address] = remaining
-                heapq.heappush(self._heap, (remaining, address))
+                self._push(address, remaining)
                 return remaining
             # Decrement all counters by the smallest count so at least
             # one entry frees up; charge that against our weight.

@@ -28,6 +28,11 @@ class SortedCam:
         self.k = int(k)
         self._entries: Dict[int, int] = {}
         self.hits = 0
+        #: Misses that filled a *free* entry (table not yet full).
+        self.insertions = 0
+        #: Misses that evicted the minimum entry of a full table; the
+        #: replacement rate only counts genuine evictions, so inserts
+        #: into free entries must not inflate it.
         self.replacements = 0
         self.rejections = 0
 
@@ -61,7 +66,7 @@ class SortedCam:
             return True
         if len(self._entries) < self.k:
             self._entries[address] = estimate
-            self.replacements += 1
+            self.insertions += 1
             return True
         # Miss with full table: compare against the minimum entry.
         min_addr = min(self._entries, key=self._entries.__getitem__)
@@ -72,6 +77,17 @@ class SortedCam:
             return True
         self.rejections += 1
         return False
+
+    @property
+    def offers(self) -> int:
+        """Total :meth:`offer` calls, across every outcome."""
+        return self.hits + self.insertions + self.replacements + self.rejections
+
+    @property
+    def replacement_rate(self) -> float:
+        """Fraction of offers that evicted a full-table minimum."""
+        offers = self.offers
+        return self.replacements / offers if offers else 0.0
 
     def entries(self) -> List[Tuple[int, int]]:
         """Tracked (address, count) pairs, hottest first.

@@ -128,9 +128,16 @@ class PageAccessCounter:
     def _observe_cached(self, rel: np.ndarray) -> None:
         # Direct-mapped cache of counters; sequential semantics matter
         # only for eviction ordering, which we preserve per unique
-        # conflict — run-length compress the stream first.
-        sets = rel % self._num_sram
-        for pfn_rel, set_idx in zip(rel.tolist(), sets.tolist()):
+        # conflict — run-length compress the stream first, then apply
+        # each run of consecutive same-page accesses in one step.
+        starts = np.nonzero(np.diff(rel, prepend=rel[0] - 1))[0]
+        run_pfns = rel[starts]
+        run_lens = np.diff(starts, append=rel.size)
+        run_sets = run_pfns % self._num_sram
+        period = self._saturation + 1
+        for pfn_rel, set_idx, n in zip(
+            run_pfns.tolist(), run_sets.tolist(), run_lens.tolist()
+        ):
             tag = self._tags[set_idx]
             if tag != pfn_rel:
                 if tag >= 0:
@@ -140,14 +147,18 @@ class PageAccessCounter:
                     self._table[tag] += self._sram[set_idx]
                     self.evictions += 1
                 self._tags[set_idx] = pfn_rel
-                self._sram[set_idx] = 1
+                total = n  # install writes 1, then n-1 increments
             else:
-                value = int(self._sram[set_idx]) + 1
-                if value > self._saturation:
-                    self._table[pfn_rel] += value
-                    value = 0
-                    self.spills += 1
-                self._sram[set_idx] = value
+                total = int(self._sram[set_idx]) + n
+            # n sequential increments from the current value: every
+            # time the counter exceeds saturation it spills exactly
+            # saturation+1 into the table and resets to zero, so the
+            # run collapses to a division instead of a Python loop.
+            nspills = total // period
+            if nspills:
+                self._table[pfn_rel] += nspills * period
+                self.spills += nspills
+            self._sram[set_idx] = total % period
 
     def flush(self) -> None:
         """Drain live SRAM counts into the access-count table."""

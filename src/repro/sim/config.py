@@ -102,6 +102,12 @@ class SimConfig:
     #: the benchmark's other instances; only TLB shootdowns, locks,
     #: and the straggler instance's own faults serialise with it.
     migration_overlap: float = 0.3
+    #: Run the :mod:`repro.verify` invariant catalogue after every
+    #: epoch (counter conservation, tier conservation, tracker/queue
+    #: bounds, non-negative perf times).  Off by default: the unchecked
+    #: pipeline stays bit-identical to the frozen goldens; on, a
+    #: violation aborts the run with an ``InvariantViolation``.
+    check_invariants: bool = False
     seed: int = 0
     checkpoints: int = 10
     pages_per_gb: int = PAGES_PER_GB

@@ -331,6 +331,18 @@ class Simulation:
             self._stage_perf,
             self._stage_checkpoint,
         )
+        self._stage_names = ("trace", "translate", "snoop", "policy",
+                             "migrate", "perf", "checkpoint")
+        #: Per-epoch invariant checking (see :mod:`repro.verify`); the
+        #: checker rides the pipeline as an extra stage so the default
+        #: (unchecked) loop stays exactly the frozen-golden sequence.
+        self.checker = None
+        if self.config.check_invariants:
+            from repro.verify import InvariantChecker
+
+            self.checker = InvariantChecker(self)
+            self.stages += (self._stage_verify,)
+            self._stage_names += ("verify",)
         self._register_engine_metrics()
         self.result: Optional[RunResult] = None
 
@@ -373,11 +385,9 @@ class Simulation:
             "pipeline_stage_seconds", "Wall-clock spent per pipeline stage",
             labels=("stage",),
         )
-        names = ("trace", "translate", "snoop", "policy", "migrate",
-                 "perf", "checkpoint")
         self._stage_obs = tuple(
             (f"stage.{name}", stage_seconds.labels(stage=name))
-            for name in names
+            for name in self._stage_names
         )
 
     # ------------------------------------------------------------------
@@ -674,6 +684,10 @@ class Simulation:
                 migration_us=st.migration_us,
             )
 
+    def _stage_verify(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Run the invariant catalogue against the finished epoch."""
+        self.checker.check_epoch(st)
+
     def _stage_checkpoint(self, policy: EpochPolicy, st: _EpochState) -> None:
         """Snapshot the access-count ratio at measurement points."""
         if st.epoch not in self._checkpoint_epochs or self.config.migrate:
@@ -738,6 +752,11 @@ class Simulation:
         if self.async_engine is not None:
             self.result.extra.update(self.async_engine.stats.as_extra())
             self.result.extra["mig_pending"] = float(self.async_engine.pending)
+        if self.checker is not None:
+            self.result.extra["invariant_checks"] = float(self.checker.checks_run)
+            self.result.extra["invariant_violations"] = float(
+                len(self.checker.violations)
+            )
         if self.obs.metrics_on:
             self.result.metrics = self.obs.snapshot()
         return self.result

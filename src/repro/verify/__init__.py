@@ -1,0 +1,50 @@
+"""Correctness tooling: invariant checking and differential oracles.
+
+Three layers guard the repro's trackers and migration paths (see
+``docs/verification.md``):
+
+* :mod:`repro.verify.invariants` — per-epoch assertions wired into the
+  pipeline behind ``SimConfig.check_invariants`` / ``repro run
+  --check-invariants``: counter conservation, tier conservation,
+  tracker/queue bounds, non-negative perf times.
+* :mod:`repro.verify.differential` — paired-configuration oracles
+  (``repro verify`` / ``tools/run_differential.py``): exact vs batched
+  sketch, PAC cache vs direct mode, instant vs async-unlimited
+  migration, diffed with per-field tolerances.
+* ``tests/verify/`` — Hypothesis property suites encoding the paper's
+  analytical guarantees (CM-Sketch never underestimates, Space-Saving
+  overestimates within N/K, exact-oracle CAM selection, MGLRU victim
+  validity).
+"""
+
+from repro.verify.differential import (
+    MIGRATION_TOLERANCES,
+    ORACLES,
+    DiffRow,
+    OracleReport,
+    diff_run_results,
+    migration_oracle,
+    pac_oracle,
+    run_all,
+    sketch_oracle,
+)
+from repro.verify.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    Violation,
+)
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+    "DiffRow",
+    "OracleReport",
+    "MIGRATION_TOLERANCES",
+    "ORACLES",
+    "diff_run_results",
+    "sketch_oracle",
+    "pac_oracle",
+    "migration_oracle",
+    "run_all",
+]

@@ -1,0 +1,319 @@
+"""Differential oracles: paired configurations that must agree.
+
+The repro keeps several update paths per structure (exact, batched,
+cached) and two migration modes.  Each pair below is an *oracle*: one
+side is the slow, obviously-correct semantics, the other is the fast
+path the pipeline actually runs, and the two must agree — exactly
+where the docstrings promise identical state, within a tolerance where
+only the aggregate behaviour is guaranteed.
+
+Three oracle pairs (``repro verify`` / ``tools/run_differential.py``):
+
+* ``sketch`` — :class:`~repro.core.trackers.CmSketchTopK` with
+  ``exact_sequence=True`` (per-access hardware semantics) vs the
+  batched default.  The CM-Sketch counter table and ``items_seen``
+  must be identical; the CAM's top-K selection must overlap within
+  tolerance (admission order differs transiently, §5.1 reset makes
+  the divergence bounded per query period).
+* ``pac`` — :class:`~repro.cxl.pac.PageAccessCounter` cache mode
+  (bounded SRAM, direct-mapped, evict-on-conflict) vs direct mode.
+  After ``flush()`` both must report *identical* per-page counts:
+  PAC conserves every snooped access regardless of SRAM sizing.
+* ``migration`` — a full simulation in ``instant`` mode vs ``async``
+  mode with an effectively unlimited budget, no injected aborts, and
+  the dirty-page model disabled.  Migration totals and tier occupancy
+  must agree within small tolerances; execution time agrees loosely
+  (the async cost model charges remap CPU + copy contention instead
+  of the flat 54 µs).
+
+Every comparison is a :class:`DiffRow` with a per-field tolerance
+(0 = bit-exact required), collected into an :class:`OracleReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.trackers import CmSketchTopK
+from repro.cxl.pac import PageAccessCounter
+from repro.memory.address import PAGE_SHIFT, PAGE_SIZE, AddressRegion
+from repro.sim.config import SimConfig
+from repro.sim.engine import RunResult, Simulation
+from repro.workloads import registry
+
+
+@dataclass
+class DiffRow:
+    """One compared quantity: oracle value ``a`` vs fast-path ``b``."""
+
+    field: str
+    a: float
+    b: float
+    #: Allowed relative drift of ``b`` from ``a`` (0 = must be equal).
+    #: A zero baseline falls back to comparing absolutely.
+    tolerance: float = 0.0
+
+    @property
+    def drift(self) -> float:
+        if self.a == self.b:
+            return 0.0
+        scale = max(abs(self.a), abs(self.b))
+        return abs(self.a - self.b) / scale if scale else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.drift <= self.tolerance
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle pair."""
+
+    name: str
+    description: str
+    rows: List[DiffRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def failures(self) -> List[DiffRow]:
+        return [row for row in self.rows if not row.ok]
+
+    def add(self, field: str, a, b, tolerance: float = 0.0) -> None:
+        self.rows.append(DiffRow(field, float(a), float(b), tolerance))
+
+    def format(self) -> str:
+        lines = [f"oracle {self.name}: {self.description}"]
+        for row in self.rows:
+            mark = "ok  " if row.ok else "FAIL"
+            lines.append(
+                f"  {mark} {row.field:<28s} a={row.a:<14.6g} "
+                f"b={row.b:<14.6g} drift={row.drift:.2%} "
+                f"(tol {row.tolerance:.2%})"
+            )
+        return "\n".join(lines)
+
+
+def _zipf_keys(rng: np.random.Generator, n: int, key_space: int) -> np.ndarray:
+    """A skewed, deterministic key stream over ``[0, key_space)``."""
+    keys = rng.zipf(1.2, size=n).astype(np.uint64) % np.uint64(key_space)
+    return keys
+
+
+# ----------------------------------------------------------------------
+# oracle 1: exact-sequence vs batched CM-Sketch tracker
+
+
+def sketch_oracle(
+    seed: int = 0,
+    accesses: int = 100_000,
+    k: int = 64,
+    num_counters: int = 4096,
+    key_space: int = 4096,
+    chunk: int = 4096,
+    overlap_tolerance: float = 0.15,
+) -> OracleReport:
+    """Per-access vs batched :class:`CmSketchTopK` on one stream."""
+    report = OracleReport(
+        "sketch",
+        "exact_sequence vs batched CmSketchTopK: identical counters, "
+        "top-K overlap within tolerance",
+    )
+    rng = np.random.default_rng(seed)
+    keys = _zipf_keys(rng, accesses, key_space)
+    addresses = keys << np.uint64(PAGE_SHIFT)
+    exact = CmSketchTopK(k, num_counters=num_counters, exact_sequence=True)
+    batched = CmSketchTopK(k, num_counters=num_counters, exact_sequence=False)
+    for start in range(0, accesses, chunk):
+        exact.observe(addresses[start:start + chunk])
+        batched.observe(addresses[start:start + chunk])
+
+    mismatch = int((exact.sketch.table != batched.sketch.table).sum())
+    report.add("table_mismatched_counters", 0, mismatch)
+    report.add("items_seen", exact.sketch.items_seen, batched.sketch.items_seen)
+    report.add("accesses_observed", exact.accesses_observed,
+               batched.accesses_observed)
+
+    top_exact = {key for key, _ in exact.peek()}
+    top_batched = {key for key, _ in batched.peek()}
+    overlap = len(top_exact & top_batched) / max(1, len(top_exact))
+    report.add("topk_overlap", 1.0, overlap, tolerance=overlap_tolerance)
+    return report
+
+
+# ----------------------------------------------------------------------
+# oracle 2: PAC cache mode vs direct mode
+
+
+def pac_oracle(
+    seed: int = 0,
+    accesses: int = 200_000,
+    num_pages: int = 1024,
+    sram_counters: int = 128,
+    counter_bits: int = 6,
+    chunk: int = 8192,
+) -> OracleReport:
+    """Cache-mode vs direct-mode PAC flush totals on one trace.
+
+    ``counter_bits`` is deliberately small so the trace actually
+    exercises the saturation-spill path of both modes.
+    """
+    report = OracleReport(
+        "pac",
+        "PAC cache-mode vs direct-mode: identical per-page counts "
+        "after flush",
+    )
+    region = AddressRegion(0x1000_0000, num_pages * PAGE_SIZE)
+    direct = PageAccessCounter(region, counter_bits=counter_bits)
+    cached = PageAccessCounter(
+        region, counter_bits=counter_bits, sram_counters=sram_counters
+    )
+    rng = np.random.default_rng(seed)
+    pages = _zipf_keys(rng, accesses, num_pages)
+    words = rng.integers(0, 64, size=accesses).astype(np.uint64)
+    addresses = (
+        np.uint64(region.start)
+        + (pages << np.uint64(PAGE_SHIFT))
+        + (words << np.uint64(6))
+    )
+    for start in range(0, accesses, chunk):
+        direct.observe(addresses[start:start + chunk])
+        cached.observe(addresses[start:start + chunk])
+    direct.flush()
+    cached.flush()
+
+    report.add("total_accesses", direct.total_accesses, cached.total_accesses)
+    a, b = direct.counts(), cached.counts()
+    report.add("sum_counts", int(a.sum()), int(b.sum()))
+    report.add("per_page_mismatches", 0, int((a != b).sum()))
+    return report
+
+
+# ----------------------------------------------------------------------
+# oracle 3: instant vs async-unlimited migration
+
+
+#: Per-field relative tolerances for the migration oracle.  The async
+#: cost model replaces the flat 54 µs/page with remap CPU + copy
+#: contention, so simulated time drifts by ~10%; for time-driven
+#: policies (M5's Elector) that legitimately shifts *when* the last
+#: activation lands.  Promotion counts are therefore quantized in
+#: whole activation batches (K = 64 pages), and at oracle-sized
+#: traces one batch is up to ~20% of the total — the placement
+#: tolerances allow exactly that one-batch drift.  Anything beyond
+#: it — lost queue entries, spurious aborts, double promotion — still
+#: breaks the tolerance, and the zero-tolerance residue rows (aborts,
+#: pending, drops) catch queue leaks regardless of size.
+MIGRATION_TOLERANCES: Dict[str, float] = {
+    "promoted": 0.25,
+    "demoted": 0.25,
+    "nr_pages_ddr": 0.25,
+    "nr_pages_cxl": 0.05,
+    "n_hot": 0.25,
+    "execution_time_s": 0.15,
+    "app_time_s": 0.10,
+}
+
+
+def _unlimited_async(config: SimConfig) -> SimConfig:
+    """The async twin of ``config`` with every throttle removed."""
+    kwargs = {f: getattr(config, f) for f in (
+        "total_accesses", "chunk_size", "trace_subsample", "ddr_pages",
+        "cxl_pages", "checkpoints", "pages_per_gb", "migrate", "seed",
+    )}
+    return SimConfig(
+        migration_mode="async",
+        migration_inflight_budget=1_000_000,
+        migration_queue_capacity=1_000_000,
+        migration_abort_rate=0.0,
+        migration_copy_gbps=0.0,
+        write_fraction=0.0,  # no dirty-recheck aborts
+        **kwargs,
+    )
+
+
+def diff_run_results(
+    a: RunResult,
+    b: RunResult,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> List[DiffRow]:
+    """Field-by-field diff of two :class:`RunResult` snapshots."""
+    tolerances = MIGRATION_TOLERANCES if tolerances is None else tolerances
+    fields = {
+        "promoted": (a.promoted, b.promoted),
+        "demoted": (a.demoted, b.demoted),
+        "nr_pages_ddr": (a.nr_pages_ddr, b.nr_pages_ddr),
+        "nr_pages_cxl": (a.nr_pages_cxl, b.nr_pages_cxl),
+        "n_hot": (len(a.hot_pfns), len(b.hot_pfns)),
+        "execution_time_s": (a.execution_time_s, b.execution_time_s),
+        "app_time_s": (a.app_time_s, b.app_time_s),
+    }
+    return [
+        DiffRow(name, float(va), float(vb), tolerances.get(name, 0.0))
+        for name, (va, vb) in fields.items()
+    ]
+
+
+def migration_oracle(
+    bench: str = "mcf",
+    policy: str = "m5-hpt",
+    seed: int = 1,
+    accesses: int = 400_000,
+    chunk: int = 16_384,
+    check_invariants: bool = True,
+    tolerances: Optional[Dict[str, float]] = None,
+) -> OracleReport:
+    """Instant-mode vs async-unlimited-budget simulation runs."""
+    report = OracleReport(
+        "migration",
+        f"{bench}/{policy}: instant vs async-with-unlimited-budget",
+    )
+    base = SimConfig(
+        total_accesses=accesses,
+        chunk_size=chunk,
+        checkpoints=1,
+        check_invariants=check_invariants,
+    )
+    instant = Simulation(
+        registry.build(bench, seed=seed), base, policy=policy
+    ).run()
+    async_cfg = _unlimited_async(base)
+    async_cfg.check_invariants = check_invariants
+    async_sim = Simulation(registry.build(bench, seed=seed), async_cfg,
+                           policy=policy)
+    async_result = async_sim.run()
+
+    report.rows.extend(diff_run_results(instant, async_result, tolerances))
+    # The unlimited queue must drain and abort nothing: any residue
+    # means the budgets or the dirty model leaked into the oracle.
+    report.add("async_aborted", 0, async_result.extra.get("mig_aborted", 0.0))
+    report.add("async_pending", 0, async_result.extra.get("mig_pending", 0.0))
+    report.add("async_dropped_full", 0,
+               async_result.extra.get("mig_dropped_queue_full", 0.0))
+    if check_invariants:
+        report.add("invariant_violations_instant", 0,
+                   instant.extra.get("invariant_violations", 0.0))
+        report.add("invariant_violations_async", 0,
+                   async_result.extra.get("invariant_violations", 0.0))
+    return report
+
+
+#: The registry the CLI and ``tools/run_differential.py`` iterate.
+ORACLES = {
+    "sketch": sketch_oracle,
+    "pac": pac_oracle,
+    "migration": migration_oracle,
+}
+
+
+def run_all(names: Optional[List[str]] = None, **kwargs) -> List[OracleReport]:
+    """Run the named oracle pairs (default: all three), in order."""
+    names = list(ORACLES) if not names else list(names)
+    unknown = [n for n in names if n not in ORACLES]
+    if unknown:
+        raise ValueError(f"unknown oracles {unknown}; known: {list(ORACLES)}")
+    return [ORACLES[name](**kwargs.get(name, {})) for name in names]

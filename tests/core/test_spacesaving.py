@@ -137,3 +137,52 @@ class TestMisraGries:
         mg = MisraGries(2)
         mg.update_one(1, weight=5)
         assert mg.estimate_one(1) == 5
+
+
+class TestHeapBound:
+    """The lazy heap must stay O(capacity), not O(stream length).
+
+    Hits push a fresh (count, address) entry without removing the
+    stale one; before the compaction bound, a hit-heavy stream grew
+    the heap linearly with the trace.
+    """
+
+    def test_space_saving_hit_heavy_stream(self):
+        ss = SpaceSaving(8)
+        for _ in range(1000):
+            for key in range(8):
+                ss.update_one(key)
+        assert len(ss._heap) <= ss._heap_bound
+        assert ss._heap_bound == 2 * ss.capacity
+
+    def test_misra_gries_hit_heavy_stream(self):
+        mg = MisraGries(8)
+        for _ in range(1000):
+            for key in range(8):
+                mg.update_one(key)
+        assert len(mg._heap) <= mg._heap_bound
+
+    def test_space_saving_mixed_stream_stays_bounded_and_correct(self):
+        rng = np.random.default_rng(7)
+        keys = rng.zipf(1.3, 20_000) % 64
+        ss = SpaceSaving(16)
+        for k in keys.tolist():
+            ss.update_one(int(k))
+        assert len(ss._heap) <= ss._heap_bound
+        # Compaction must not break the summary guarantees.
+        assert len(ss) <= ss.capacity
+        true = np.bincount(keys.astype(np.int64), minlength=64)
+        for addr, est in ss.top_k(16):
+            assert est >= true[addr]
+
+    def test_compaction_preserves_min_eviction_order(self):
+        ss = SpaceSaving(4)
+        # Drive enough hits to force several compactions...
+        for _ in range(50):
+            for key in (1, 2, 3, 4):
+                ss.update_one(key)
+        ss.update_one(1)  # 1 is now strictly hottest
+        # ...then check a miss still evicts a true minimum (count 50).
+        est = ss.update_one(99)
+        assert est == 51
+        assert 1 in ss and 99 in ss

@@ -102,3 +102,43 @@ class TestInvariants:
             cam.offer(addr, est)
             counts = [c for _, c in cam.entries()]
             assert counts == sorted(counts, reverse=True)
+
+
+class TestOfferStats:
+    """Insertions into free entries must not count as replacements."""
+
+    def test_free_entry_insert_is_not_a_replacement(self):
+        cam = SortedCam(4)
+        for addr in range(4):
+            cam.offer(addr, 10 + addr)
+        assert cam.insertions == 4
+        assert cam.replacements == 0
+
+    def test_eviction_counts_as_replacement(self):
+        cam = SortedCam(2)
+        cam.offer(1, 5)
+        cam.offer(2, 6)
+        cam.offer(3, 7)  # evicts 1 (min, count 5)
+        assert cam.insertions == 2
+        assert cam.replacements == 1
+        assert cam.rejections == 0
+
+    def test_offer_stats_are_conserved(self):
+        cam = SortedCam(3)
+        offers = [(1, 5), (2, 6), (1, 7), (3, 4), (4, 9), (5, 1), (2, 8)]
+        for addr, est in offers:
+            cam.offer(addr, est)
+        assert cam.offers == len(offers)
+        assert (cam.hits + cam.insertions + cam.replacements
+                + cam.rejections) == cam.offers
+
+    def test_replacement_rate_only_counts_evictions(self):
+        cam = SortedCam(2)
+        cam.offer(1, 5)
+        cam.offer(2, 6)
+        assert cam.replacement_rate == 0.0
+        cam.offer(3, 9)  # one genuine eviction in three offers
+        assert cam.replacement_rate == 1 / 3
+
+    def test_replacement_rate_empty_table(self):
+        assert SortedCam(2).replacement_rate == 0.0

@@ -163,3 +163,82 @@ class TestMmioInterface:
         pac = PageAccessCounter(region())
         assert pac.registers.read("region_start") == BASE
         assert pac.registers.read("region_size") == 64 * PAGE_SIZE
+
+
+def _reference_cached_observe(pac, rel_pages):
+    """Per-access reference for the cached path: one install/hit/spill
+    decision per access, in trace order."""
+    period = pac._saturation + 1
+    for pfn in rel_pages:
+        set_idx = pfn % pac._num_sram
+        tag = pac._tags[set_idx]
+        if tag != pfn:
+            if tag >= 0:
+                pac._table[tag] += pac._sram[set_idx]
+                pac.evictions += 1
+            pac._tags[set_idx] = pfn
+            pac._sram[set_idx] = 1
+        else:
+            pac._sram[set_idx] += 1
+        if pac._sram[set_idx] > pac._saturation:
+            pac._table[pfn] += period
+            pac.spills += 1
+            pac._sram[set_idx] = 0
+    pac.total_accesses += len(rel_pages)
+
+
+class TestCachedObserveEquivalence:
+    """The run-length-compressed cached path must match per-access
+    semantics: same counts, same eviction and spill totals."""
+
+    def _trace(self, seed, n, pages):
+        rng = np.random.default_rng(seed)
+        # Mix runs (sequential re-touches) with conflict-heavy jumps.
+        pieces = []
+        while sum(p.size for p in pieces) < n:
+            page = int(rng.integers(0, pages))
+            run = int(rng.integers(1, 12))
+            pieces.append(np.full(run, page, dtype=np.int64))
+        return np.concatenate(pieces)[:n]
+
+    @pytest.mark.parametrize("counter_bits", [2, 6])
+    def test_matches_per_access_reference(self, counter_bits):
+        trace = self._trace(11, 4000, 64)
+        fast = PageAccessCounter(region(64), counter_bits=counter_bits,
+                                 sram_counters=8)
+        ref = PageAccessCounter(region(64), counter_bits=counter_bits,
+                                sram_counters=8)
+        fast.observe(addresses_for(trace))
+        _reference_cached_observe(ref, trace.tolist())
+        fast.flush()
+        ref.flush()
+        assert np.array_equal(fast.counts(), ref.counts())
+        assert fast.evictions == ref.evictions
+        assert fast.spills == ref.spills
+        assert fast.total_accesses == ref.total_accesses
+
+    def test_cached_vs_direct_flush_totals(self):
+        """The differential oracle in miniature: cache mode loses no
+        access relative to direct mode, per page."""
+        trace = self._trace(13, 6000, 64)
+        direct = PageAccessCounter(region(64), counter_bits=4)
+        cached = PageAccessCounter(region(64), counter_bits=4,
+                                   sram_counters=8)
+        for start in range(0, trace.size, 512):
+            chunk = addresses_for(trace[start:start + 512])
+            direct.observe(chunk)
+            cached.observe(chunk)
+        direct.flush()
+        cached.flush()
+        assert np.array_equal(direct.counts(), cached.counts())
+        assert direct.total_accesses == cached.total_accesses
+
+    def test_run_compression_spills_within_one_chunk(self):
+        """A long single-page run must spill exactly like sequential
+        increments: total = n, spills = n // (sat+1)."""
+        pac = PageAccessCounter(region(16), counter_bits=2,
+                                sram_counters=4)  # saturates at 3
+        pac.observe(addresses_for(np.full(10, 5)))
+        pac.flush()
+        assert pac.counts()[5] == 10
+        assert pac.spills == 2  # 10 accesses = 2 full periods of 4 + 2

@@ -1,0 +1,147 @@
+"""Differential-oracle tests: the paired configurations agree, and the
+pinned golden runs stay bit-identical."""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.sim import SimConfig, Simulation
+from repro.verify import (
+    DiffRow,
+    MIGRATION_TOLERANCES,
+    OracleReport,
+    diff_run_results,
+    migration_oracle,
+    pac_oracle,
+    run_all,
+    sketch_oracle,
+)
+from repro.verify.differential import _unlimited_async
+from repro.workloads import registry
+
+GOLDENS = pathlib.Path(__file__).parent / "data" / "differential_goldens.json"
+
+
+class TestDiffRow:
+    def test_equal_values_zero_drift(self):
+        row = DiffRow("x", 5.0, 5.0)
+        assert row.drift == 0.0 and row.ok
+
+    def test_drift_is_relative_to_larger_magnitude(self):
+        row = DiffRow("x", 100.0, 90.0, tolerance=0.05)
+        assert row.drift == pytest.approx(0.10)
+        assert not row.ok
+
+    def test_zero_baseline_compares_absolutely(self):
+        assert not DiffRow("x", 0.0, 3.0).ok
+        assert DiffRow("x", 0.0, 0.0).ok
+
+
+class TestOracleReport:
+    def test_failures_and_format(self):
+        report = OracleReport("demo", "test pair")
+        report.add("good", 1, 1)
+        report.add("bad", 10, 20, tolerance=0.1)
+        assert not report.ok
+        assert [row.field for row in report.failures()] == ["bad"]
+        text = report.format()
+        assert "FAIL bad" in text and "ok   good" in text
+
+
+class TestOraclePairs:
+    def test_sketch_oracle_agrees(self):
+        report = sketch_oracle()
+        assert report.ok, report.format()
+
+    def test_pac_oracle_agrees(self):
+        report = pac_oracle()
+        assert report.ok, report.format()
+
+    def test_migration_oracle_agrees(self):
+        report = migration_oracle()
+        assert report.ok, report.format()
+
+    def test_run_all_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            run_all(["sketch", "nope"])
+
+    def test_run_all_order(self):
+        reports = run_all(["pac", "sketch"])
+        assert [r.name for r in reports] == ["pac", "sketch"]
+
+
+class TestGoldenRuns:
+    """Two benchmarks x {instant, async-unlimited}, pinned.
+
+    Regenerate with the snippet in ``docs/verification.md`` only when
+    an intentional model change shifts the pipeline's outputs.
+    """
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        with open(GOLDENS) as fh:
+            return json.load(fh)
+
+    def _fields(self, result):
+        return {
+            "promoted": result.promoted,
+            "demoted": result.demoted,
+            "nr_pages_ddr": result.nr_pages_ddr,
+            "nr_pages_cxl": result.nr_pages_cxl,
+            "n_hot": len(result.hot_pfns),
+            "execution_time_s": result.execution_time_s,
+            "app_time_s": result.app_time_s,
+        }
+
+    def _assert_matches(self, got, want):
+        for field, expected in want.items():
+            actual = got[field]
+            if isinstance(expected, float):
+                assert math.isclose(actual, expected, rel_tol=1e-12), \
+                    f"{field}: {actual} != {expected}"
+            else:
+                assert actual == expected, f"{field}: {actual} != {expected}"
+
+    @pytest.mark.parametrize("bench", ["mcf", "roms"])
+    def test_instant_golden(self, goldens, bench):
+        base = SimConfig(total_accesses=200_000, chunk_size=16_384,
+                         checkpoints=1)
+        result = Simulation(registry.build(bench, seed=1), base,
+                            policy="m5-hpt").run()
+        self._assert_matches(self._fields(result), goldens[bench]["instant"])
+
+    @pytest.mark.parametrize("bench", ["mcf", "roms"])
+    def test_async_unlimited_golden(self, goldens, bench):
+        base = SimConfig(total_accesses=200_000, chunk_size=16_384,
+                         checkpoints=1)
+        result = Simulation(
+            registry.build(bench, seed=1), _unlimited_async(base),
+            policy="m5-hpt",
+        ).run()
+        self._assert_matches(self._fields(result),
+                             goldens[bench]["async_unlimited"])
+
+    @pytest.mark.parametrize("bench", ["mcf", "roms"])
+    def test_golden_pair_within_tolerances(self, goldens, bench):
+        """The pinned pairs themselves respect the oracle tolerances —
+        a tolerance tightened below reality fails here, not in CI."""
+        instant = goldens[bench]["instant"]
+        async_r = goldens[bench]["async_unlimited"]
+        for field, tol in MIGRATION_TOLERANCES.items():
+            row = DiffRow(field, instant[field], async_r[field], tol)
+            assert row.ok, (f"{bench}.{field}: {row.a} vs {row.b} "
+                            f"drift {row.drift:.2%} > tol {tol:.2%}")
+
+
+class TestDiffRunResults:
+    def test_identical_runs_have_zero_drift(self):
+        base = SimConfig(total_accesses=60_000, chunk_size=15_000,
+                         checkpoints=1)
+        a = Simulation(registry.build("mcf", seed=1), base,
+                       policy="m5-hpt").run()
+        b = Simulation(registry.build("mcf", seed=1), base,
+                       policy="m5-hpt").run()
+        rows = diff_run_results(a, b)
+        assert all(row.drift == 0.0 for row in rows)

@@ -1,0 +1,149 @@
+"""Invariant-checker tests: clean runs pass, corruption is caught,
+and checking never perturbs the simulation itself."""
+
+import dataclasses
+
+import pytest
+
+from repro.migration.request import Direction, MigrationRequest
+from repro.sim import SimConfig, Simulation
+from repro.verify import InvariantChecker, InvariantViolation
+from repro.workloads import registry
+
+
+def small_config(**overrides):
+    base = dict(
+        total_accesses=90_000,
+        chunk_size=15_000,
+        checkpoints=1,
+        check_invariants=True,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+def run_sim(policy="m5-hpt", bench="mcf", seed=0, **overrides):
+    sim = Simulation(
+        registry.build(bench, seed=seed), small_config(**overrides),
+        policy=policy,
+    )
+    result = sim.run()
+    return sim, result
+
+
+class TestCleanRuns:
+    """A healthy pipeline raises nothing and reports its check count."""
+
+    def test_instant_run_is_clean(self):
+        sim, result = run_sim()
+        assert sim.checker is not None
+        assert result.extra["invariant_violations"] == 0
+        assert result.extra["invariant_checks"] > 0
+
+    def test_async_run_is_clean(self):
+        sim, result = run_sim(
+            migration_mode="async",
+            migration_inflight_budget=64,
+            migration_queue_capacity=256,
+        )
+        assert result.extra["invariant_violations"] == 0
+        # The queue-bounds checks only exist in async mode.
+        assert result.extra["invariant_checks"] > 0
+
+    @pytest.mark.parametrize("policy", ["anb", "damon", "m5-hpt+hwt"])
+    def test_other_policies_are_clean(self, policy):
+        _, result = run_sim(policy=policy, total_accesses=45_000)
+        assert result.extra["invariant_violations"] == 0
+
+    def test_checking_does_not_perturb_results(self):
+        """check_invariants only *observes*: every result field must be
+        bit-identical to an unchecked run of the same config."""
+        _, checked = run_sim(check_invariants=True)
+        _, plain = run_sim(check_invariants=False)
+        for f in dataclasses.fields(plain):
+            if f.name in ("extra", "timeline"):
+                continue
+            a = getattr(plain, f.name)
+            b = getattr(checked, f.name)
+            if isinstance(a, float):
+                assert a == b, f"{f.name} drifted: {a} vs {b}"
+            else:
+                assert a == b, f"{f.name} drifted"
+
+
+class TestCorruptionDetection:
+    """Each tampering below simulates a tracker-state bug the checker
+    exists to catch; record mode collects instead of raising."""
+
+    def _recording_checker(self, sim):
+        return InvariantChecker(sim, mode="record")
+
+    def test_lost_access_is_caught(self):
+        sim, _ = run_sim()
+        checker = self._recording_checker(sim)
+        checker.check_pac_conservation(epoch=99)
+        assert not checker.violations  # sanity: clean before tampering
+        sim.pac.total_accesses += 1  # one access the counters never saw
+        checker.check_pac_conservation(epoch=99)
+        assert len(checker.violations) == 1
+        assert checker.violations[0].invariant == "pac_conservation"
+
+    def test_oversize_cam_is_caught(self):
+        sim, _ = run_sim()
+        cam = sim._manager.hpt.cam
+        checker = self._recording_checker(sim)
+        checker.check_tracker_bounds(epoch=99)
+        assert not checker.violations
+        for extra in range(10_000_000, 10_000_000 + cam.k + 1):
+            cam._entries[extra] = 1  # grow past K without bookkeeping
+        checker.check_tracker_bounds(epoch=99)
+        assert any(v.invariant == "tracker_bounds"
+                   for v in checker.violations)
+
+    def test_lost_page_is_caught(self):
+        sim, _ = run_sim()
+        checker = self._recording_checker(sim)
+        checker.check_tier_conservation(epoch=99)
+        assert not checker.violations
+        sim.memory.node_map[0] = -1  # page 0 falls off both tiers
+        checker.check_tier_conservation(epoch=99)
+        assert any(v.invariant == "tier_conservation"
+                   for v in checker.violations)
+
+    def test_duplicate_queue_entry_is_caught(self):
+        sim, _ = run_sim(
+            migration_mode="async",
+            migration_inflight_budget=64,
+            migration_queue_capacity=256,
+        )
+        queue = sim.async_engine.queue
+        checker = self._recording_checker(sim)
+        checker.check_queue_bounds(epoch=99)
+        assert not checker.violations
+        # Two requests for one page, bypassing push()'s dedup.
+        queue._queue.append(MigrationRequest(7, Direction.PROMOTE))
+        queue._queue.append(MigrationRequest(7, Direction.PROMOTE))
+        queue._queued_pages.add(7)
+        checker.check_queue_bounds(epoch=99)
+        assert any(v.invariant == "queue_bounds"
+                   for v in checker.violations)
+
+    def test_raise_mode_aborts(self):
+        sim, _ = run_sim()
+        checker = InvariantChecker(sim, mode="raise")
+        sim.pac.total_accesses += 1
+        with pytest.raises(InvariantViolation):
+            checker.check_pac_conservation(epoch=99)
+
+    def test_invalid_mode_rejected(self):
+        sim, _ = run_sim()
+        with pytest.raises(ValueError):
+            InvariantChecker(sim, mode="warn")
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        sim, _ = run_sim()
+        summary = sim.checker.summary()
+        assert summary["violations"] == 0
+        assert summary["checks_run"] == sim.checker.checks_run > 0

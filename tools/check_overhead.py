@@ -14,6 +14,11 @@ Also asserts the instrumented results are bit-identical to the plain
 leg (observability must measure, never perturb) and that the tracer's
 stage spans cover at least 95% of the root span.
 
+An ``invariants`` leg runs with ``SimConfig.check_invariants`` on: the
+per-epoch invariant catalogue gets its own (looser) budget via
+``--invariant-tolerance``, and its results must likewise stay
+bit-identical — checking may only observe.
+
 Usage::
 
     PYTHONPATH=src python tools/check_overhead.py [--tolerance 0.05]
@@ -33,20 +38,24 @@ from repro.obs import Observability  # noqa: E402
 from repro.sim import SimConfig, Simulation  # noqa: E402
 from repro.workloads import registry  # noqa: E402
 
+#: (leg name, observability factory, check_invariants)
 LEGS = (
-    ("plain", lambda: None),
-    ("metrics", lambda: Observability(metrics=True, tracing=False)),
-    ("metrics+tracing", lambda: Observability(metrics=True, tracing=True)),
+    ("plain", lambda: None, False),
+    ("metrics", lambda: Observability(metrics=True, tracing=False), False),
+    ("metrics+tracing", lambda: Observability(metrics=True, tracing=True),
+     False),
+    ("invariants", lambda: None, True),
 )
 
 
-def one_run(args, obs):
+def one_run(args, obs, check_invariants=False):
     workload = registry.build(args.bench, seed=args.seed)
     config = SimConfig(
         total_accesses=args.accesses,
         chunk_size=args.chunk,
         trace_subsample=64.0,
         checkpoints=1,
+        check_invariants=check_invariants,
     )
     sim = Simulation(workload, config, policy=args.policy, obs=obs)
     start = time.perf_counter()
@@ -69,33 +78,38 @@ def main() -> int:
     parser.add_argument("--slack-s", type=float, default=0.05,
                         help="absolute allowance on top of the "
                              "percentage, for short noisy runs")
+    parser.add_argument("--invariant-tolerance", type=float, default=0.10,
+                        help="allowed relative slowdown of the "
+                             "check-invariants leg")
     args = parser.parse_args()
 
-    times = {name: [] for name, _ in LEGS}
+    times = {name: [] for name, _, _ in LEGS}
     results = {}
     last_obs = {}
     # warm-up: first run pays numpy/import costs, charged to no leg
     one_run(args, None)
     for _ in range(args.repeats):
-        for name, make_obs in LEGS:
-            elapsed, result, obs = one_run(args, make_obs())
+        for name, make_obs, check in LEGS:
+            elapsed, result, obs = one_run(args, make_obs(), check)
             times[name].append(elapsed)
             results[name] = result
             last_obs[name] = obs
 
     medians = {name: statistics.median(ts) for name, ts in times.items()}
     base = medians["plain"]
-    limit = base * (1.0 + args.tolerance) + args.slack_s
     print(f"{'leg':>16s}  {'median_s':>9s}  {'vs plain':>9s}")
     failed = []
-    for name, _ in LEGS:
+    for name, _, _ in LEGS:
+        tolerance = (args.invariant_tolerance if name == "invariants"
+                     else args.tolerance)
+        limit = base * (1.0 + tolerance) + args.slack_s
         ratio = medians[name] / base if base > 0 else float("inf")
         print(f"{name:>16s}  {medians[name]:9.3f}  {ratio:8.3f}x")
         if name != "plain" and medians[name] > limit:
             failed.append(name)
 
     plain = results["plain"]
-    for name in ("metrics", "metrics+tracing"):
+    for name in ("metrics", "metrics+tracing", "invariants"):
         r = results[name]
         if (r.execution_time_s != plain.execution_time_s
                 or r.promoted != plain.promoted
@@ -111,13 +125,22 @@ def main() -> int:
         print("FAIL: stage spans cover < 95% of the run span")
         return 1
 
+    checks = results["invariants"].extra.get("invariant_checks", 0)
+    violations = results["invariants"].extra.get("invariant_violations", 0)
+    print(f"invariant checks: {checks:.0f} run, {violations:.0f} violations")
+    if violations:
+        print("FAIL: the invariants leg found violations")
+        return 1
+
     if failed:
         print(f"FAIL: {', '.join(failed)} exceeded the overhead budget "
-              f"(limit {limit:.3f} s = plain * "
-              f"{1.0 + args.tolerance:.2f} + {args.slack_s:.2f} s)")
+              f"(tolerance {args.tolerance:.0%}, invariants "
+              f"{args.invariant_tolerance:.0%}, +{args.slack_s:.2f} s "
+              "slack)")
         return 1
     print(f"OK: instrumented legs within {args.tolerance:.0%} "
-          f"(+{args.slack_s:.2f} s slack) of plain")
+          f"(invariants {args.invariant_tolerance:.0%}; "
+          f"+{args.slack_s:.2f} s slack) of plain")
     return 0
 
 
