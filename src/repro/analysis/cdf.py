@@ -23,7 +23,7 @@ class AccessCdf:
     counts: np.ndarray  # per-page access counts, touched pages only
 
     @classmethod
-    def from_counts(cls, benchmark: str, counts: np.ndarray) -> "AccessCdf":
+    def from_counts(cls, benchmark: str, counts: np.ndarray) -> AccessCdf:
         arr = np.asarray(counts, dtype=np.float64)
         return cls(benchmark=benchmark, counts=np.sort(arr[arr > 0]))
 

@@ -126,7 +126,8 @@ def cmd_run(args) -> int:
     telemetry = None
     if getattr(args, "timeline", None):
         try:
-            open(args.timeline, "w").close()  # fail fast on a bad path
+            with open(args.timeline, "w"):  # fail fast on a bad path
+                pass
         except OSError as exc:
             print(f"cannot write timeline file: {exc}")
             return 2
@@ -410,6 +411,12 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lintkit import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_hwcost(args) -> int:
     rows = []
     for row in hwcost.table4():
@@ -546,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("hwcost", help="Table 4 tracker cost model")
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-aware static analysis (determinism, units, numpy "
+             "dtype safety, registry drift)",
+    )
+    from repro.lintkit import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
     return parser
 
 
@@ -561,6 +577,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "verify": cmd_verify,
         "hwcost": cmd_hwcost,
+        "lint": cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -20,7 +20,7 @@ provided here as :func:`make_huge_hpt`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -64,7 +64,7 @@ class HugePageAggregator:
         self,
         is_huge_allocated: Optional[Callable[[int], bool]] = None,
         min_occupancy: int = 8,
-    ):
+    ) -> None:
         if not 1 <= min_occupancy <= PAGES_PER_HUGE:
             raise ValueError("min_occupancy must be in [1, 512]")
         self.is_huge_allocated = is_huge_allocated or (lambda hfn: True)
@@ -109,7 +109,7 @@ class HugePageAggregator:
 
 
 def make_huge_hpt(
-    k: int = 16, num_counters: int = 32 * 1024, **kwargs
+    k: int = 16, num_counters: int = 32 * 1024, **kwargs: Any
 ) -> TopKTracker:
     """§8's alternative: an HPT tracking 2MB page addresses directly.
 

@@ -17,7 +17,7 @@ Table 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -128,7 +128,9 @@ def estimate(
     )
 
 
-def table4(entries=(50, 100, 512, 1024, 2048, 8192, 32768, 131072)):
+def table4(
+    entries: Sequence[int] = (50, 100, 512, 1024, 2048, 8192, 32768, 131072),
+) -> List[Dict[str, Optional[float]]]:
     """Regenerate Table 4: rows of (N, SS area, CMS area, SS power,
     CMS power); infeasible cells are None."""
     rows = []

@@ -16,7 +16,7 @@ migration raised DDR's share of consumed bandwidth.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.manager.elector import Elector, ElectorDecision
 from repro.core.manager.monitor import MonitorSample
@@ -38,8 +38,8 @@ class AdaptiveElector(Elector):
         f_max: float = 16.0,
         increase: float = 1.5,
         decrease: float = 0.67,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> None:
         super().__init__(f_default=f_default, **kwargs)
         if not 0 < f_min <= f_default <= f_max:
             raise ValueError("need 0 < f_min <= f_default <= f_max")

@@ -88,7 +88,7 @@ class Elector:
         max_period_s: float = 10.0,
         always_first: bool = True,
         improvement_epsilon: float = 1e-2,
-    ):
+    ) -> None:
         if f_default <= 0:
             raise ValueError("f_default must be positive")
         if not 0 < min_period_s <= max_period_s:

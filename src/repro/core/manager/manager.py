@@ -11,7 +11,7 @@ pages are comparable (§7.2, Redis discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from repro.core.manager.promoter import Promoter
 from repro.core.trackers import TopKTracker
 from repro.memory.migration import MigrationEngine
 from repro.memory.tiers import TieredMemory
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 #: CPU time for one manager activation: query both trackers over MMIO
 #: (K entries each), update _HPA/_HWA, and write the proc file.  A few
@@ -76,8 +79,8 @@ class M5Manager:
         batch_limit: Optional[int] = None,
         dry_run: bool = False,
         async_engine: Optional[object] = None,
-        metrics=None,
-    ):
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         #: EpochPolicy identifier; the Simulation overwrites it with
         #: the concrete registry name (m5-hpt / m5-hwt / m5-hpt+hwt).
         self.name = "m5"

@@ -67,7 +67,7 @@ class MonitorSample:
 class Monitor:
     """Samples the tiered-memory statistics once per epoch."""
 
-    def __init__(self, memory: TieredMemory):
+    def __init__(self, memory: TieredMemory) -> None:
         self.memory = memory
         self.history: list = []
 

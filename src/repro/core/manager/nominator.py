@@ -65,7 +65,7 @@ class Nominator:
             bits are set (0 disables filtering).
     """
 
-    def __init__(self, mode: str = HPT_ONLY, min_hot_words: int = 0):
+    def __init__(self, mode: str = HPT_ONLY, min_hot_words: int = 0) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}")
         if not 0 <= min_hot_words <= WORDS_PER_PAGE:

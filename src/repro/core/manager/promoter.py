@@ -91,7 +91,7 @@ class Promoter:
         memory: TieredMemory,
         engine: MigrationEngine,
         async_engine: Optional[object] = None,
-    ):
+    ) -> None:
         self.memory = memory
         self.engine = engine
         self.async_engine = async_engine

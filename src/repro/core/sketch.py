@@ -19,6 +19,7 @@ Two update paths are provided:
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 #: Default geometry: paper fixes H=4 for Table 4 and reports sweeping
 #: H in [2, 16] has only a secondary effect (§7.1).
@@ -62,7 +63,7 @@ class CountMinSketch:
             design-space extension.
     """
 
-    def __init__(self, width: int, depth: int = DEFAULT_DEPTH, conservative: bool = False):
+    def __init__(self, width: int, depth: int = DEFAULT_DEPTH, conservative: bool = False) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
         if not 1 <= depth <= len(_HASH_MULTIPLIERS):
@@ -122,7 +123,7 @@ class CountMinSketch:
             np.add.at(self.table[row], idx[row], w)
         self.items_seen += int(w.sum())
 
-    def estimate(self, keys) -> np.ndarray:
+    def estimate(self, keys: ArrayLike) -> np.ndarray:
         """Point-query estimates (min over rows) for one or more keys."""
         keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
         idx = self._hash(keys)

@@ -28,7 +28,7 @@ class SpaceSaving:
         capacity: N, the number of CAM entries.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)

@@ -37,7 +37,7 @@ class StickySampling:
         error: float = 0.001,
         failure_prob: float = 0.01,
         seed: int = 7,
-    ):
+    ) -> None:
         if not 0 < error < support <= 1:
             raise ValueError("need 0 < error < support <= 1")
         if not 0 < failure_prob < 1:

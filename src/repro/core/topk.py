@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 class SortedCam:
     """K-entry content-addressable top-K table."""
 
-    def __init__(self, k: int):
+    def __init__(self, k: int) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = int(k)

@@ -26,7 +26,7 @@ served").
 from __future__ import annotations
 
 import abc
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 import numpy as np
 
@@ -49,7 +49,7 @@ _GRANULARITY_SHIFT = {"page": PAGE_SHIFT, "word": WORD_SHIFT}
 class TopKTracker(abc.ABC):
     """Common shell: address keying, query/reset, statistics."""
 
-    def __init__(self, k: int, granularity: str = "page"):
+    def __init__(self, k: int, granularity: str = "page") -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         if granularity not in _GRANULARITY_SHIFT:
@@ -119,7 +119,7 @@ class CmSketchTopK(TopKTracker):
         granularity: str = "page",
         exact_sequence: bool = False,
         conservative: bool = False,
-    ):
+    ) -> None:
         super().__init__(k, granularity)
         if num_counters < depth:
             raise ValueError("num_counters must be >= depth")
@@ -169,7 +169,7 @@ class SpaceSavingTopK(TopKTracker):
         capacity: int = 50,
         granularity: str = "page",
         exact_sequence: bool = False,
-    ):
+    ) -> None:
         super().__init__(k, granularity)
         if capacity < k:
             raise ValueError("capacity must be >= k")
@@ -214,7 +214,7 @@ class MisraGriesTopK(SpaceSavingTopK):
         capacity: int = 50,
         granularity: str = "page",
         exact_sequence: bool = False,
-    ):
+    ) -> None:
         super().__init__(k, capacity=capacity, granularity=granularity,
                          exact_sequence=exact_sequence)
         self.summary = MisraGries(capacity)
@@ -236,7 +236,7 @@ class StickySamplingTopK(TopKTracker):
         error: float = 0.0002,
         granularity: str = "page",
         seed: int = 5,
-    ):
+    ) -> None:
         super().__init__(k, granularity)
         self.summary = StickySampling(support=support, error=error, seed=seed)
 
@@ -257,7 +257,7 @@ class ExactTopK(TopKTracker):
     role); used as an upper bound and for differential testing.
     """
 
-    def __init__(self, k: int, granularity: str = "page"):
+    def __init__(self, k: int, granularity: str = "page") -> None:
         super().__init__(k, granularity)
         self._counts: dict = {}
 
@@ -278,7 +278,7 @@ def make_hpt(
     k: int = 5,
     algorithm: str = "cm-sketch",
     num_counters: int = 32 * 1024,
-    **kwargs,
+    **kwargs: Any,
 ) -> TopKTracker:
     """Build a Hot-Page Tracker with the paper's defaults."""
     return _make(k, algorithm, num_counters, granularity="page", **kwargs)
@@ -288,13 +288,19 @@ def make_hwt(
     k: int = 5,
     algorithm: str = "cm-sketch",
     num_counters: int = 32 * 1024,
-    **kwargs,
+    **kwargs: Any,
 ) -> TopKTracker:
     """Build a Hot-Word Tracker with the paper's defaults."""
     return _make(k, algorithm, num_counters, granularity="word", **kwargs)
 
 
-def _make(k, algorithm, num_counters, granularity, **kwargs):
+def _make(
+    k: int,
+    algorithm: str,
+    num_counters: int,
+    granularity: str,
+    **kwargs: Any,
+) -> TopKTracker:
     if algorithm == "cm-sketch":
         return CmSketchTopK(
             k, num_counters=num_counters, granularity=granularity, **kwargs

@@ -13,11 +13,14 @@ Any object exposing ``observe(addresses)`` can be attached as a snoop
 
 from __future__ import annotations
 
-from typing import List, Protocol
+from typing import TYPE_CHECKING, List, Optional, Protocol
 
 import numpy as np
 
 from repro.memory.address import AddressRegion
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 #: Extra load-to-use latency of CXL DRAM vs DDR DRAM reported for the
 #: paper's testbed class of devices (140–170ns, §1); combined with a
@@ -50,8 +53,8 @@ class CxlController:
         self,
         region: AddressRegion,
         access_latency_ns: float = 270.0,
-        metrics=None,
-    ):
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.region = region
         self.access_latency_ns = float(access_latency_ns)
         self._snoops: List[AddressSnoop] = []

@@ -15,7 +15,7 @@ on top exercises the same interface contract as the paper's driver.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
@@ -38,7 +38,7 @@ class RegisterFile:
     order, mirroring how the RTL exposes them at fixed MMIO offsets.
     """
 
-    def __init__(self, names):
+    def __init__(self, names: Iterable[str]) -> None:
         self._offsets: Dict[str, int] = {}
         self._values: Dict[str, int] = {}
         for i, name in enumerate(names):
@@ -61,7 +61,7 @@ class RegisterFile:
             raise MmioError(f"unknown register {name!r}")
         return self._values[name]
 
-    def names(self):
+    def names(self) -> Tuple[str, ...]:
         return tuple(self._offsets)
 
 
@@ -74,7 +74,7 @@ class CounterWindow:
     as the hardware adds ``base + offset`` without carry logic).
     """
 
-    def __init__(self, sram: np.ndarray):
+    def __init__(self, sram: np.ndarray) -> None:
         if sram.ndim != 1:
             raise MmioError("counter SRAM must be one-dimensional")
         self._sram = sram

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.memory.address import (
     WORDS_PER_PAGE_SHIFT,
@@ -47,7 +48,7 @@ class PageAccessCounter:
         region: AddressRegion,
         counter_bits: int = 16,
         sram_counters: Optional[int] = None,
-    ):
+    ) -> None:
         if not 1 <= counter_bits <= 32:
             raise ValueError("counter_bits must be in [1, 32]")
         self.region = region
@@ -192,7 +193,7 @@ class PageAccessCounter:
             return 0
         return int(self.counts()[rel])
 
-    def counts_of_pages(self, pfns) -> np.ndarray:
+    def counts_of_pages(self, pfns: ArrayLike) -> np.ndarray:
         """Vectorised access-count lookup for absolute PFNs."""
         rel = np.asarray(pfns, dtype=np.int64) - self.region.first_page
         table = self.counts()

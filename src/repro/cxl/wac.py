@@ -10,7 +10,10 @@ memory over multiple intervals or runs (§3 "Scalability").
 
 from __future__ import annotations
 
+from typing import Dict, Sequence
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.memory.address import (
     WORD_SHIFT,
@@ -39,7 +42,7 @@ class WordAccessCounter:
         device_region: AddressRegion,
         window_bytes: int = DEFAULT_WINDOW_BYTES,
         counter_bits: int = DEFAULT_COUNTER_BITS,
-    ):
+    ) -> None:
         if not 1 <= counter_bits <= 32:
             raise ValueError("counter_bits must be in [1, 32]")
         if window_bytes <= 0:
@@ -139,8 +142,8 @@ class WordAccessCounter:
         return uniques
 
     def sparsity_profile(
-        self, thresholds=(4, 8, 16, 32, 48), min_accesses: int = 1
-    ) -> dict:
+        self, thresholds: Sequence[int] = (4, 8, 16, 32, 48), min_accesses: int = 1
+    ) -> Dict[int, float]:
         """P(page has at most N unique accessed words) for each N,
         over pages with at least ``min_accesses`` accesses."""
         uniques = self.unique_words_per_page(min_accesses)
@@ -164,7 +167,7 @@ class WordAccessCounter:
         counts = np.sort(self.counts())[::-1]
         return int(counts[: min(int(k), counts.size)].sum())
 
-    def counts_of_lines(self, lines) -> np.ndarray:
+    def counts_of_lines(self, lines: ArrayLike) -> np.ndarray:
         """Vectorised count lookup for absolute 64B line indices."""
         rel = np.asarray(lines, dtype=np.int64) - (
             self.monitor_region.start >> WORD_SHIFT

@@ -1,0 +1,3 @@
+"""Rule modules — importing this package registers every rule."""
+
+from repro.lintkit.rules import determinism, drift, dtype, units  # noqa: F401

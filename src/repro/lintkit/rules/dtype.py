@@ -1,0 +1,157 @@
+"""DTYPE001: numpy integer-counter saturation safety in ``cxl/``.
+
+PAC and WAC model hardware L-bit SRAM counters: every accumulation
+into a narrow integer array must decide what happens at the top of
+the range (the paper's spill-to-64-bit-table model).  A bare ``+=``
+into an ``int32``/``uint16`` array silently wraps, which diverges
+from the hardware's saturate-and-spill semantics in exactly the way
+a golden diff cannot localise.
+
+The rule tracks arrays created with a narrow integer dtype (8/16/32
+bits) in a ``cxl/`` module and flags accumulation into them —
+``arr += …``, ``arr[i] += …``, ``np.add.at(arr, …)`` — unless the
+enclosing function visibly handles the range: it mentions an
+overflow/saturation/spill identifier, clips, or reduces modulo the
+counter period.  64-bit arrays are exempt (they *are* the spill
+target in this architecture).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from repro.lintkit.base import Rule, dotted_name, identifiers_in, register
+from repro.lintkit.context import FileContext
+from repro.lintkit.findings import Finding
+
+_ARRAY_CTORS = {
+    "zeros", "ones", "empty", "full", "array", "asarray", "arange",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+}
+
+_NARROW_INT_DTYPES = {
+    "int8", "int16", "int32", "uint8", "uint16", "uint32",
+    "byte", "ubyte", "short", "ushort", "intc", "uintc",
+}
+
+#: Identifier fragments that mark explicit range handling.
+_SATURATION_MARKERS = ("overflow", "saturat", "spill", "clip", "minimum", "wrap")
+
+
+def _dtype_is_narrow_int(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _NARROW_INT_DTYPES
+    name = dotted_name(node)
+    if name is None:
+        return False
+    return name.rpartition(".")[2] in _NARROW_INT_DTYPES
+
+
+def _target_key(node: ast.expr) -> Optional[str]:
+    """Normalise ``x`` / ``self.x`` / ``x[i]`` to the bound name."""
+    if isinstance(node, ast.Subscript):
+        return _target_key(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _function_handles_range(func: Optional[ast.AST]) -> bool:
+    if func is None:
+        return False
+    for ident in identifiers_in(func):
+        lowered = ident.lower()
+        if any(marker in lowered for marker in _SATURATION_MARKERS):
+            return True
+    for node in ast.walk(func):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+            return True
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Mod):
+            return True
+    return False
+
+
+@register
+class NarrowIntAccumulation(Rule):
+    """DTYPE001: accumulation into a narrow integer array without
+    visible saturation/spill handling (``cxl/`` only)."""
+
+    id = "DTYPE001"
+    title = "narrow integer counter accumulated without saturation handling"
+    fix_hint = (
+        "handle the range explicitly (detect overflow and spill into the "
+        "64-bit table, clip, or reduce modulo the counter period), or "
+        "widen the array to 64 bits"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None or not ctx.in_layer("cxl"):
+            return
+        narrow = self._narrow_arrays(ctx.tree)
+        if not narrow:
+            return
+        for func, accum in self._accumulations(ctx.tree):
+            key = _target_key(accum)
+            if key not in narrow:
+                continue
+            if _function_handles_range(func):
+                continue
+            yield self.finding(
+                ctx, accum,
+                f"`{key}` holds a narrow integer dtype; this accumulation "
+                "has no overflow/saturation/spill handling in scope and "
+                "will silently wrap",
+            )
+
+    @staticmethod
+    def _narrow_arrays(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            ctor = dotted_name(value.func)
+            if ctor is None or ctor.rpartition(".")[2] not in _ARRAY_CTORS:
+                continue
+            dtype_kw = next(
+                (kw.value for kw in value.keywords if kw.arg == "dtype"), None
+            )
+            if dtype_kw is None or not _dtype_is_narrow_int(dtype_kw):
+                continue
+            for target in targets:
+                key = _target_key(target)
+                if key is not None:
+                    names.add(key)
+        return names
+
+    @staticmethod
+    def _accumulations(tree: ast.Module):
+        """(enclosing_function, accumulation_target) pairs."""
+
+        def visit(node: ast.AST, func: Optional[ast.AST]):
+            for child in ast.iter_child_nodes(node):
+                child_func = (
+                    child
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    else func
+                )
+                if isinstance(child, ast.AugAssign) and isinstance(
+                    child.op, (ast.Add, ast.Sub, ast.Mult)
+                ):
+                    yield func, child.target
+                elif isinstance(child, ast.Call):
+                    name = dotted_name(child.func)
+                    if name and name.endswith("add.at") and child.args:
+                        yield func, child.args[0]
+                yield from visit(child, child_func)
+
+        yield from visit(tree, None)

@@ -1,0 +1,241 @@
+"""UNIT001–UNIT003: dimensional-consistency rules.
+
+The codebase encodes physical units in name suffixes — ``now_s``,
+``migration_cost_us``, ``cxl_latency_ns``, ``copy_gbps``,
+``window_bytes``, ``ddr_pages`` — and the performance model's
+correctness (§4 profiling accuracy, the 54 µs/page migration charge)
+depends on never adding microseconds to seconds.  These rules infer a
+unit for every suffixed name and flag arithmetic that mixes units
+without an explicit conversion.
+
+Multiplication and division are treated as conversions (they
+legitimately change dimension: ``dur_wall_s * 1e6`` is microseconds),
+so only addition, subtraction, comparison, same-suffix assignment,
+and keyword passing are checked.  That keeps the rule conservative:
+a finding always means two *unconverted* quantities met.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lintkit.base import Rule, register
+from repro.lintkit.context import FileContext
+from repro.lintkit.findings import Finding
+
+#: Recognised unit suffixes, longest-match-first so ``_us`` is not
+#: mistaken for ``_s`` and ``_ns`` is not mistaken for ``_s``.
+UNIT_SUFFIXES = (
+    "_bytes", "_epochs", "_pages", "_gbps", "_ghz", "_us", "_ns",
+    "_ms", "_gb", "_mw", "_s",
+)
+
+#: Calls that preserve their arguments' unit (element selection or
+#: lossless numeric coercion, not conversion).
+_UNIT_PRESERVING_CALLS = {
+    "max", "min", "abs", "float", "int", "round", "sum",
+    "np.maximum", "np.minimum", "np.abs", "np.sum", "max.reduce",
+}
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """The unit suffix carried by an identifier, if any."""
+    for suffix in UNIT_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return suffix[1:]
+    return None
+
+
+def _base_identifier(node: ast.expr) -> Optional[str]:
+    """The identifier whose suffix labels the value of ``node``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _base_identifier(node.value)
+    if isinstance(node, ast.Starred):
+        return _base_identifier(node.value)
+    return None
+
+
+def infer_unit(node: ast.expr) -> Optional[str]:
+    """Infer a unit for an expression, or ``None`` when unknown.
+
+    ``None`` means "no opinion" — anything flowing through a
+    multiplication, division, unrecognised call, or unsuffixed name
+    is unconstrained, so the rules stay quiet about it.
+    """
+    ident = _base_identifier(node)
+    if ident is not None:
+        return unit_of_name(ident)
+    if isinstance(node, ast.UnaryOp):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = infer_unit(node.left), infer_unit(node.right)
+            if left is not None and right is not None:
+                # Mismatches are reported where they happen (UNIT001);
+                # propagating either side would double-report upward.
+                return left if left == right else None
+            return left if left is not None else right
+        return None  # Mult/Div/Mod/Pow change dimension: conversion
+    if isinstance(node, ast.IfExp):
+        body, orelse = infer_unit(node.body), infer_unit(node.orelse)
+        if body is not None and orelse is not None:
+            return body if body == orelse else None
+        return body if body is not None else orelse
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name in _UNIT_PRESERVING_CALLS:
+            units = {u for u in (infer_unit(a) for a in node.args) if u}
+            if len(units) == 1:
+                return units.pop()
+        return None
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute) and isinstance(
+        node.func.value, ast.Name
+    ):
+        return f"{node.func.value.id}.{node.func.attr}"
+    return None
+
+
+def _describe(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+@register
+class MixedUnitArithmetic(Rule):
+    """UNIT001: addition/subtraction/comparison across unit suffixes.
+
+    ``x_us + y_s`` is a dimensional error unless one side passed
+    through an explicit conversion (``* 1e6``, ``/ US_PER_S``, …) —
+    conversions make the unit unknown and silence the rule.
+    """
+
+    id = "UNIT001"
+    title = "arithmetic mixes unit suffixes"
+    fix_hint = (
+        "convert one operand explicitly (multiply/divide by a "
+        "conversion constant) so both sides share a suffix"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left, right = infer_unit(node.left), infer_unit(node.right)
+                if left is not None and right is not None and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    yield self.finding(
+                        ctx, node,
+                        f"`{_describe(node.left)} {op} {_describe(node.right)}` "
+                        f"mixes `{left}` and `{right}` without conversion",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                target = infer_unit(node.target)
+                value = infer_unit(node.value)
+                if target is not None and value is not None and target != value:
+                    yield self.finding(
+                        ctx, node,
+                        f"augmented assignment accumulates `{value}` into "
+                        f"`{_describe(node.target)}` (unit `{target}`)",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                units = [infer_unit(o) for o in operands]
+                for (a, ua), (b, ub) in zip(
+                    zip(operands, units), zip(operands[1:], units[1:])
+                ):
+                    if ua is not None and ub is not None and ua != ub:
+                        yield self.finding(
+                            ctx, node,
+                            f"comparison of `{_describe(a)}` (`{ua}`) with "
+                            f"`{_describe(b)}` (`{ub}`)",
+                        )
+
+
+@register
+class UnitAssignmentMismatch(Rule):
+    """UNIT002: assigning a value with one unit to a name suffixed
+    with another, with no conversion in between."""
+
+    id = "UNIT002"
+    title = "assignment target suffix disagrees with value unit"
+    fix_hint = (
+        "rename the target to match the value's unit, or insert the "
+        "explicit conversion"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                pairs = [(t, node.value) for t in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                pairs = [(node.target, node.value)]
+            else:
+                continue
+            for target, value in pairs:
+                ident = _base_identifier(target)
+                if ident is None:
+                    continue
+                target_unit = unit_of_name(ident)
+                value_unit = infer_unit(value)
+                if (
+                    target_unit is not None
+                    and value_unit is not None
+                    and target_unit != value_unit
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"`{ident}` (unit `{target_unit}`) assigned a value "
+                        f"in `{value_unit}`: `{_describe(value)}`",
+                    )
+
+
+@register
+class UnitKeywordMismatch(Rule):
+    """UNIT003: passing a value with one unit to a keyword argument
+    suffixed with another (``f(timeout_s=x_us)``)."""
+
+    id = "UNIT003"
+    title = "keyword argument suffix disagrees with value unit"
+    fix_hint = "convert the value to the unit the parameter name declares"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                kw_unit = unit_of_name(kw.arg)
+                value_unit = infer_unit(kw.value)
+                if (
+                    kw_unit is not None
+                    and value_unit is not None
+                    and kw_unit != value_unit
+                ):
+                    yield self.finding(
+                        ctx, kw.value,
+                        f"keyword `{kw.arg}` (unit `{kw_unit}`) receives "
+                        f"`{_describe(kw.value)}` (unit `{value_unit}`)",
+                    )

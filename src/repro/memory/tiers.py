@@ -144,12 +144,18 @@ class TieredMemory:
             self._frame_of[lpage] = node.allocate_frame()
             self._node_of[lpage] = self._NODE_CODE[kind]
 
-    def allocate_interleaved(self, ddr_fraction: float) -> None:
+    def allocate_interleaved(self, ddr_fraction: float, seed: int = 0) -> None:
         """Allocate pages randomly split between nodes (for the §5.2
-        bandwidth-proportionality experiment)."""
+        bandwidth-proportionality experiment).
+
+        The split is drawn from a generator seeded by ``seed`` so the
+        placement is a pure function of ``(ddr_fraction, seed)`` —
+        callers thread ``SimConfig.seed`` through for experiment
+        reproducibility (the default keeps the historical layout).
+        """
         if not 0.0 <= ddr_fraction <= 1.0:
             raise ValueError("ddr_fraction must be in [0, 1]")
-        rng = np.random.default_rng(0)
+        rng = np.random.default_rng(seed)
         to_ddr = rng.random(self.num_logical_pages) < ddr_fraction
         for lpage in range(self.num_logical_pages):
             kind = NodeKind.DDR if to_ddr[lpage] else NodeKind.CXL

@@ -23,7 +23,7 @@ policy can nominate them again later.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set
+from typing import TYPE_CHECKING, Iterable, Optional, Set
 
 import numpy as np
 
@@ -39,6 +39,10 @@ from repro.migration.request import (
     TickReport,
 )
 from repro.migration.transaction import TransactionalCopier, TransactionResult
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.config import SimConfig
 
 #: Cap on the exponential-backoff shift (keeps gates finite).
 _MAX_BACKOFF_SHIFT = 16
@@ -78,7 +82,7 @@ class AsyncMigrationConfig:
     page_scale: float = 1.0
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.inflight_budget < 1:
             raise ValueError("inflight_budget must be positive")
         if self.max_retries < 0:
@@ -91,7 +95,7 @@ class AsyncMigrationConfig:
             raise ValueError("page_scale must be >= 1")
 
     @classmethod
-    def from_sim_config(cls, cfg) -> "AsyncMigrationConfig":
+    def from_sim_config(cls, cfg: SimConfig) -> AsyncMigrationConfig:
         """Derive the subsystem's config from a ``SimConfig``."""
         return cls(
             inflight_budget=cfg.migration_inflight_budget,
@@ -121,8 +125,8 @@ class AsyncMigrationEngine:
         engine: MigrationEngine,
         config: Optional[AsyncMigrationConfig] = None,
         injector: Optional[FailureInjector] = None,
-        metrics=None,
-    ):
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.engine = engine
         self.config = config if config is not None else AsyncMigrationConfig()
         self.queue = MigrationQueue(self.config.queue_capacity)

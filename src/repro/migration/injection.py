@@ -31,7 +31,7 @@ class FailureInjector:
         seed: int = 0,
         force_enomem: bool = False,
         dirty_pages: Optional[Iterable[int]] = None,
-    ):
+    ) -> None:
         if not 0.0 <= abort_rate <= 1.0:
             raise ValueError("abort_rate must be in [0, 1]")
         self.abort_rate = float(abort_rate)

@@ -28,7 +28,7 @@ from repro.migration.request import Direction, MigrationRequest
 class MigrationQueue:
     """FIFO of :class:`MigrationRequest` with a hard capacity."""
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be positive")
         self.capacity = int(capacity)

@@ -64,7 +64,7 @@ class TransactionalCopier:
         injector: Optional[FailureInjector] = None,
         enomem_fallback: bool = True,
         remap_us: float = 12.0,
-    ):
+    ) -> None:
         if remap_us < 0:
             raise ValueError("remap_us must be non-negative")
         self.engine = engine

@@ -46,7 +46,7 @@ from repro.obs.metrics import (
     NULL_METRIC,
     log2_buckets,
 )
-from repro.obs.tracing import NULL_SPAN, Span, SpanRecord, Tracer
+from repro.obs.tracing import NULL_SPAN, Span, SpanRecord, Tracer, wall_clock
 
 
 class Observability:
@@ -103,6 +103,7 @@ __all__ = [
     "Span",
     "SpanRecord",
     "NULL_SPAN",
+    "wall_clock",
     "to_prometheus",
     "parse_prometheus",
     "flatten_snapshot",

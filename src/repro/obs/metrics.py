@@ -136,7 +136,7 @@ class _NullMetric:
     def observe(self, value: float) -> None:
         pass
 
-    def labels(self, *values, **kv) -> "_NullMetric":
+    def labels(self, *values, **kv) -> _NullMetric:
         return self
 
 

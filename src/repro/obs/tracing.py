@@ -24,6 +24,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 
+def wall_clock() -> float:
+    """Monotonic wall-clock read (``time.perf_counter``).
+
+    The observability layer owns real-time reads: simulation layers
+    (``sim``/``cxl``/``core``/…) call this helper instead of
+    :mod:`time` directly so lint rule DET002 can prove no hot path
+    reads the host clock outside instrumentation.
+    """
+    return time.perf_counter()
+
+
 @dataclass
 class SpanRecord:
     """One completed span."""
@@ -52,7 +63,7 @@ class _NullSpan:
     __slots__ = ()
     dur_wall_s = 0.0
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
     def __exit__(self, *exc) -> None:
@@ -73,7 +84,7 @@ class Span:
         "_t0", "_sim0", "_child_wall_s", "dur_wall_s",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, float]):
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, float]):
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
@@ -88,7 +99,7 @@ class Span:
         """Attach payload fields (exported into the Chrome trace)."""
         self.attrs.update(attrs)
 
-    def __enter__(self) -> "Span":
+    def __enter__(self) -> Span:
         tr = self.tracer
         self.depth = len(tr._stack)
         self.epoch = tr.current_epoch

@@ -112,7 +112,7 @@ class SimConfig:
     checkpoints: int = 10
     pages_per_gb: int = PAGES_PER_GB
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.total_accesses <= 0 or self.chunk_size <= 0:
             raise ValueError("trace sizes must be positive")
         if self.mlp <= 0 or self.ipc <= 0 or self.cpu_ghz <= 0:

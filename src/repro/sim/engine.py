@@ -62,11 +62,11 @@ queue's behaviour).  Instant mode stays the default.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.baselines import (
     AutoNumaBalancing,
@@ -98,7 +98,7 @@ from repro.memory.migration import MigrationCostModel, MigrationEngine
 from repro.memory.mglru import MultiGenLru
 from repro.memory.tiers import NodeKind, TieredMemory
 from repro.migration import AsyncMigrationConfig, AsyncMigrationEngine, TickReport
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, wall_clock
 from repro.sim.config import SimConfig
 from repro.sim.perf import EpochPerf, PerformanceModel
 from repro.sim.telemetry import RingBufferSink, TelemetryBus
@@ -173,7 +173,7 @@ class RunResult:
 
 
 def access_count_ratio(
-    pac: PageAccessCounter, hot_pfns, k_cap: Optional[int] = None
+    pac: PageAccessCounter, hot_pfns: ArrayLike, k_cap: Optional[int] = None
 ) -> float:
     """The §4.1 metric: Σ counts(identified) / Σ counts(true top-K).
 
@@ -259,7 +259,7 @@ class Simulation:
         telemetry: Optional[TelemetryBus] = None,
         timeline_capacity: int = 4096,
         obs: Optional[Observability] = None,
-    ):
+    ) -> None:
         self.workload = workload
         self.config = config if config is not None else SimConfig()
         if policy not in ALL_POLICIES:
@@ -781,10 +781,10 @@ class Simulation:
                 tracer.current_epoch = st.epoch
                 self._m_epochs.inc()
                 for (name, hist), stage in zip(self._stage_obs, self.stages):
-                    t0 = time.perf_counter()
+                    t0 = wall_clock()
                     with tracer.span(name):
                         stage(policy, st)
-                    hist.observe(time.perf_counter() - t0)
+                    hist.observe(wall_clock() - t0)
 
 
 def run_policy(

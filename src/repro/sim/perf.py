@@ -57,7 +57,7 @@ class EpochPerf:
 class PerformanceModel:
     """Turns epoch access counts + overheads into time."""
 
-    def __init__(self, config: SimConfig, spec: WorkloadSpec):
+    def __init__(self, config: SimConfig, spec: WorkloadSpec) -> None:
         self.config = config
         self.spec = spec
         cycles_per_instr = 1.0 / config.ipc

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Union
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 Event = Dict[str, Union[str, int, float]]
 
@@ -56,7 +56,7 @@ class RingBufferSink(TelemetrySink):
     timeline is always detectable.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
@@ -94,11 +94,13 @@ class JsonlSink(TelemetrySink):
     events.  ``flush_every=0`` disables periodic flushing.
     """
 
-    def __init__(self, path_or_file, flush_every: int = 64):
+    def __init__(
+        self, path_or_file: Union[str, bytes, IO[str]], flush_every: int = 64
+    ) -> None:
         if flush_every < 0:
             raise ValueError("flush_every must be non-negative")
-        self._path: Optional[str] = None
-        self._fh = None
+        self._path: Optional[Union[str, bytes]] = None
+        self._fh: Optional[IO[str]] = None
         self._owns_fh = False
         self.flush_every = int(flush_every)
         self._emitted = 0
@@ -108,11 +110,12 @@ class JsonlSink(TelemetrySink):
             self._fh = path_or_file
 
     @property
-    def path(self) -> Optional[str]:
+    def path(self) -> Optional[Union[str, bytes]]:
         return self._path
 
     def emit(self, event: Event) -> None:
         if self._fh is None:
+            assert self._path is not None
             self._fh = open(self._path, "w")
             self._owns_fh = True
         self._fh.write(json.dumps(event) + "\n")
@@ -143,7 +146,7 @@ def read_jsonl(path: str) -> List[Event]:
 class TelemetryBus:
     """Fan-out from pipeline stages to the attached sinks."""
 
-    def __init__(self, sinks: Iterable[TelemetrySink] = ()):
+    def __init__(self, sinks: Iterable[TelemetrySink] = ()) -> None:
         self.sinks: List[TelemetrySink] = list(sinks)
 
     # ------------------------------------------------------------------
@@ -165,7 +168,7 @@ class TelemetryBus:
     # ------------------------------------------------------------------
     # publication
 
-    def publish(self, stage: str, epoch: int, t_s: float, **fields) -> None:
+    def publish(self, stage: str, epoch: int, t_s: float, **fields: Any) -> None:
         """Publish one event to every sink (no-op with no sinks)."""
         if not self.sinks:
             return

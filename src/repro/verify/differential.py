@@ -33,7 +33,7 @@ Every comparison is a :class:`DiffRow` with a per-field tolerance
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, SupportsFloat
 
 import numpy as np
 
@@ -83,7 +83,9 @@ class OracleReport:
     def failures(self) -> List[DiffRow]:
         return [row for row in self.rows if not row.ok]
 
-    def add(self, field: str, a, b, tolerance: float = 0.0) -> None:
+    def add(
+        self, field: str, a: SupportsFloat, b: SupportsFloat, tolerance: float = 0.0
+    ) -> None:
         self.rows.append(DiffRow(field, float(a), float(b), tolerance))
 
     def format(self) -> str:
@@ -310,7 +312,9 @@ ORACLES = {
 }
 
 
-def run_all(names: Optional[List[str]] = None, **kwargs) -> List[OracleReport]:
+def run_all(
+    names: Optional[List[str]] = None, **kwargs: Dict[str, Any]
+) -> List[OracleReport]:
     """Run the named oracle pairs (default: all three), in order."""
     names = list(ORACLES) if not names else list(names)
     unknown = [n for n in names if n not in ORACLES]

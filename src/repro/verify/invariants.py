@@ -44,13 +44,18 @@ raises (or records, in ``mode="record"``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.core.spacesaving import SpaceSaving
 from repro.core.topk import SortedCam
 from repro.memory.tiers import NodeKind
+
+if TYPE_CHECKING:
+    from repro.migration.request import TickReport
+    from repro.sim.engine import Simulation, _EpochState
+    from repro.sim.perf import EpochPerf
 
 
 class InvariantViolation(AssertionError):
@@ -82,7 +87,7 @@ class InvariantChecker:
             hide later ones).
     """
 
-    def __init__(self, sim, mode: str = "raise"):
+    def __init__(self, sim: Simulation, mode: str = "raise") -> None:
         if mode not in ("raise", "record"):
             raise ValueError("mode must be 'raise' or 'record'")
         self.sim = sim
@@ -221,7 +226,9 @@ class InvariantChecker:
             if isinstance(summary, SpaceSaving):
                 self._check_summary(epoch, summary, type(tracker).__name__)
 
-    def check_queue_bounds(self, epoch: int, tick=None) -> None:
+    def check_queue_bounds(
+        self, epoch: int, tick: Optional[TickReport] = None
+    ) -> None:
         eng = self.sim.async_engine
         if eng is None:
             return
@@ -249,7 +256,9 @@ class InvariantChecker:
                 f"{budget}-page in-flight budget",
             )
 
-    def check_perf_nonnegative(self, epoch: int, perf) -> None:
+    def check_perf_nonnegative(
+        self, epoch: int, perf: Optional[EpochPerf]
+    ) -> None:
         if perf is None:
             return
         parts = {
@@ -282,7 +291,7 @@ class InvariantChecker:
 
     # ------------------------------------------------------------------
 
-    def check_epoch(self, st) -> None:
+    def check_epoch(self, st: _EpochState) -> None:
         """Run the full catalogue against one finished epoch."""
         epoch = st.epoch
         self.check_pac_conservation(epoch)

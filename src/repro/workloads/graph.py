@@ -75,7 +75,9 @@ def preferential_attachment(num_nodes: int, m: int = 8, seed: int = 0) -> CsrGra
     for v in range(m, num_nodes):
         picks = rng.choice(len(repeated), size=m, replace=True)
         chosen = {repeated[i] for i in picks.tolist()}
-        for t in chosen:
+        # Sorted: set order is hash-dependent, and the attachment
+        # order feeds the endpoint pool (DET003).
+        for t in sorted(chosen):
             src.append(v)
             dst.append(t)
             repeated.append(t)

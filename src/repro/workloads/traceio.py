@@ -102,7 +102,7 @@ class ReplayWorkload(TraceGenerator):
         self._pos = 0
 
     @classmethod
-    def from_file(cls, path: Union[str, Path]) -> "ReplayWorkload":
+    def from_file(cls, path: Union[str, Path]) -> ReplayWorkload:
         addresses, spec, _ = load_trace(path)
         return cls(addresses, spec)
 

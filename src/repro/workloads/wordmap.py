@@ -68,13 +68,13 @@ class WordDensityProfile:
         )
 
     @classmethod
-    def dense(cls, residual: float = 0.05) -> "WordDensityProfile":
+    def dense(cls, residual: float = 0.05) -> WordDensityProfile:
         """Mostly-dense pages (SPEC-style, ≥75% of words accessed)."""
         r = float(residual)
         return cls({4: r * 0.1, 8: r * 0.2, 16: r * 0.4, 32: r * 0.7, 48: r})
 
     @classmethod
-    def sparse_kv(cls, at_16: float = 0.86) -> "WordDensityProfile":
+    def sparse_kv(cls, at_16: float = 0.86) -> WordDensityProfile:
         """Key-value-store style sparsity (Redis: 86% of pages have at
         most 16 of 64 words accessed)."""
         return cls(

@@ -65,7 +65,7 @@ class TestMonitor:
     def test_last_requires_history(self, tiered):
         mon = Monitor(tiered)
         with pytest.raises(RuntimeError):
-            mon.last
+            _ = mon.last
 
 
 class TestFscale:

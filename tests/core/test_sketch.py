@@ -31,7 +31,7 @@ class TestUpdateOne:
 
     def test_estimates_grow_with_repeats(self):
         cms = CountMinSketch(width=1024, depth=4)
-        for i in range(10):
+        for _ in range(10):
             est = cms.update_one(7)
         assert est == 10
 

@@ -1,0 +1,222 @@
+"""Fixture tests for the determinism rules DET001-DET004.
+
+Every rule gets at least one bad snippet that must flag and one good
+snippet that must pass, per the acceptance criteria.
+"""
+
+from tests.lintkit.conftest import rule_ids
+
+
+# ---------------------------------------------------------------------------
+# DET001: global-state RNG draws
+
+
+def test_det001_flags_stdlib_and_numpy_global_rng(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/jitter.py": """\
+                import random
+
+                import numpy as np
+
+
+                def jitter():
+                    return random.random() + np.random.randint(4)
+                """
+        },
+        rules=["DET001"],
+    )
+    assert rule_ids(result) == ["DET001"]
+    assert len(result.findings) == 2
+    texts = sorted(f.message for f in result.findings)
+    assert any("random.random()" in t for t in texts)
+    assert any("RandomState singleton" in t for t in texts)
+
+
+def test_det001_passes_seeded_generator_draws(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/jitter.py": """\
+                import numpy as np
+
+
+                def jitter(seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.integers(0, 4)
+                """
+        },
+        rules=["DET001"],
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# DET002: wall-clock reads in simulation layers
+
+
+_CLOCK_SRC = """\
+    import time
+
+
+    def stamp():
+        return time.time()
+    """
+
+
+def test_det002_flags_wall_clock_in_sim_layer(lint_tree):
+    result = lint_tree(
+        {"src/repro/sim/clock.py": _CLOCK_SRC}, rules=["DET002"]
+    )
+    assert rule_ids(result) == ["DET002"]
+
+
+def test_det002_flags_from_import_alias(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/cxl/clock.py": """\
+                from time import perf_counter
+
+
+                def stamp():
+                    return perf_counter()
+                """
+        },
+        rules=["DET002"],
+    )
+    assert rule_ids(result) == ["DET002"]
+
+
+def test_det002_ignores_observability_layer(lint_tree):
+    result = lint_tree(
+        {"src/repro/obs/clock.py": _CLOCK_SRC}, rules=["DET002"]
+    )
+    assert result.ok
+
+
+def test_det002_ignores_non_sim_layers(lint_tree):
+    result = lint_tree(
+        {"src/repro/analysis/clock.py": _CLOCK_SRC}, rules=["DET002"]
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# DET003: iteration-order dependence on sets
+
+
+def test_det003_flags_iterating_set_literal(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/core/order.py": """\
+                def order():
+                    out = []
+                    for x in {3, 1, 2}:
+                        out.append(x)
+                    return out
+                """
+        },
+        rules=["DET003"],
+    )
+    assert rule_ids(result) == ["DET003"]
+
+
+def test_det003_flags_materializing_set_valued_name(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/core/order.py": """\
+                def collect(items):
+                    seen = set()
+                    for it in items:
+                        seen.add(it)
+                    return list(seen)
+                """
+        },
+        rules=["DET003"],
+    )
+    assert rule_ids(result) == ["DET003"]
+
+
+def test_det003_flags_set_algebra(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/core/order.py": """\
+                def union(a, b):
+                    left = set(a)
+                    right = set(b)
+                    return list(left | right)
+                """
+        },
+        rules=["DET003"],
+    )
+    assert rule_ids(result) == ["DET003"]
+
+
+def test_det003_passes_sorted_sets(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/core/order.py": """\
+                def collect(items):
+                    seen = set()
+                    for it in items:
+                        seen.add(it)
+                    for x in sorted({3, 1, 2}):
+                        seen.add(x)
+                    return sorted(seen)
+                """
+        },
+        rules=["DET003"],
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# DET004: RNG constructors must be seeded from a seed-derived value
+
+
+def test_det004_flags_unseeded_constructor(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/rng.py": """\
+                import numpy as np
+
+                rng = np.random.default_rng()
+                """
+        },
+        rules=["DET004"],
+    )
+    assert rule_ids(result) == ["DET004"]
+    assert "OS entropy" in result.findings[0].message
+
+
+def test_det004_flags_seed_not_derived_from_experiment_seed(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/rng.py": """\
+                import numpy as np
+
+                rng = np.random.default_rng(12345)
+                """
+        },
+        rules=["DET004"],
+    )
+    assert rule_ids(result) == ["DET004"]
+    assert "not derived" in result.findings[0].message
+
+
+def test_det004_passes_seed_derived_expressions(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/rng.py": """\
+                import numpy as np
+
+
+                def make(config, base_seed):
+                    a = np.random.default_rng(config.seed)
+                    b = np.random.default_rng(base_seed + 3)
+                    c = np.random.default_rng(np.random.SeedSequence(base_seed))
+                    return a, b, c
+                """
+        },
+        rules=["DET004"],
+    )
+    assert result.ok

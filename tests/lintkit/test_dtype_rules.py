@@ -1,0 +1,115 @@
+"""Fixture tests for DTYPE001: narrow-int accumulation in ``cxl/``.
+
+PAC/WAC SRAM counters are deliberately narrow (the L-bit spill model);
+any narrow numpy integer array that is accumulated into inside
+``repro/cxl/`` must handle saturation explicitly.
+"""
+
+from tests.lintkit.conftest import rule_ids
+
+_BAD_COUNTER = """\
+    import numpy as np
+
+
+    class Pac:
+        def __init__(self):
+            self._sram = np.zeros(64, dtype=np.uint16)
+
+        def observe(self, idx):
+            self._sram[idx] += 1
+    """
+
+
+def test_dtype001_flags_unhandled_narrow_accumulation(lint_tree):
+    result = lint_tree(
+        {"src/repro/cxl/pac.py": _BAD_COUNTER}, rules=["DTYPE001"]
+    )
+    assert rule_ids(result) == ["DTYPE001"]
+    assert "narrow integer dtype" in result.findings[0].message
+
+
+def test_dtype001_only_applies_to_cxl_layer(lint_tree):
+    result = lint_tree(
+        {"src/repro/sim/pac.py": _BAD_COUNTER}, rules=["DTYPE001"]
+    )
+    assert result.ok
+
+
+def test_dtype001_passes_saturation_handling(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/cxl/pac.py": """\
+                import numpy as np
+
+
+                class Pac:
+                    def __init__(self):
+                        self._sram = np.zeros(64, dtype=np.uint16)
+
+                    def observe(self, idx):
+                        self._sram[idx] += 1
+                        overflow = self._sram[idx] == 0
+                        return overflow
+                """
+        },
+        rules=["DTYPE001"],
+    )
+    assert result.ok
+
+
+def test_dtype001_passes_modulo_wraparound(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/cxl/pac.py": """\
+                import numpy as np
+
+
+                class Pac:
+                    def __init__(self):
+                        self._sram = np.zeros(64, dtype=np.uint16)
+
+                    def observe(self, idx, value):
+                        self._sram[idx] += value % 256
+                """
+        },
+        rules=["DTYPE001"],
+    )
+    assert result.ok
+
+
+def test_dtype001_passes_wide_dtypes(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/cxl/pac.py": """\
+                import numpy as np
+
+
+                class Pac:
+                    def __init__(self):
+                        self._table = np.zeros(64, dtype=np.int64)
+
+                    def observe(self, idx):
+                        self._table[idx] += 1
+                """
+        },
+        rules=["DTYPE001"],
+    )
+    assert result.ok
+
+
+def test_dtype001_flags_ufunc_add_at(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/cxl/wac.py": """\
+                import numpy as np
+
+                counts = np.zeros(8, dtype=np.uint8)
+
+
+                def bulk(idx):
+                    np.add.at(counts, idx, 1)
+                """
+        },
+        rules=["DTYPE001"],
+    )
+    assert rule_ids(result) == ["DTYPE001"]

@@ -1,0 +1,36 @@
+"""Self-check: the real source tree must lint clean, within the
+checked-in suppression budget (acceptance: ``repro lint`` exits 0 on
+``src/`` with at most 10 suppressions)."""
+
+from pathlib import Path
+
+from repro.lintkit import format_human, lint_project, load_project
+from repro.lintkit.suppressions import count_disable_comments
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SUPPRESSION_BUDGET = 10
+
+
+def test_src_tree_lints_clean():
+    project = load_project([str(REPO_ROOT / "src")], root=str(REPO_ROOT))
+    result = lint_project(project)
+    assert result.ok, "\n" + format_human(result)
+
+
+def test_src_suppression_budget():
+    total = 0
+    offenders = []
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        count = count_disable_comments(path.read_text())
+        if count:
+            offenders.append((str(path.relative_to(REPO_ROOT)), count))
+            total += count
+    assert total <= SUPPRESSION_BUDGET, offenders
+
+
+def test_tools_and_examples_lint_clean():
+    paths = [str(REPO_ROOT / "tools"), str(REPO_ROOT / "examples")]
+    project = load_project(paths, root=str(REPO_ROOT))
+    result = lint_project(project)
+    assert result.ok, "\n" + format_human(result)

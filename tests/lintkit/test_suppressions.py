@@ -1,0 +1,110 @@
+"""Suppression mechanics: ``# lint: disable=RULE`` comments, span
+expansion over multi-line statements, and SUP001 stale-suppression
+findings."""
+
+import textwrap
+
+from repro.lintkit.suppressions import count_disable_comments
+from tests.lintkit.conftest import rule_ids
+
+
+def test_trailing_comment_suppresses_finding(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/x.py": """\
+                import random
+
+                x = random.random()  # lint: disable=DET001
+                """
+        },
+        rules=["DET001"],
+    )
+    assert result.ok
+    assert result.summary.suppressed == 1
+    assert result.summary.by_rule["DET001"]["suppressed"] == 1
+
+
+def test_standalone_comment_suppresses_line_below(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/x.py": """\
+                import random
+
+                # lint: disable=DET001 -- deliberate entropy for the demo
+                x = random.random()
+                """
+        },
+        rules=["DET001"],
+    )
+    assert result.ok
+    assert result.summary.suppressed == 1
+
+
+def test_suppression_covers_multiline_statement(lint_tree):
+    # The finding lands on the random.random() line, two lines below
+    # the comment; the statement-span expansion must still cover it.
+    result = lint_tree(
+        {
+            "src/repro/sim/x.py": """\
+                import random
+
+                # lint: disable=DET001
+                values = [
+                    random.random()
+                    for _ in range(3)
+                ]
+                """
+        },
+        rules=["DET001"],
+    )
+    assert result.ok
+    assert result.summary.suppressed == 1
+
+
+def test_unused_suppression_is_flagged_as_sup001(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/x.py": """\
+                # lint: disable=DET001
+                x = 1
+                """
+        }
+    )
+    assert rule_ids(result) == ["SUP001"]
+    assert "never fired" in result.findings[0].message
+    assert result.findings[0].severity.value == "warning"
+
+
+def test_suppression_naming_unknown_rule_is_flagged(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/x.py": """\
+                x = 1  # lint: disable=NOPE001
+                """
+        }
+    )
+    assert rule_ids(result) == ["SUP001"]
+    assert "unknown rule" in result.findings[0].message
+
+
+def test_disable_text_inside_docstring_is_not_a_suppression(lint_tree):
+    source = textwrap.dedent(
+        '''\
+        def f():
+            """Suppress with `# lint: disable=DET001` above the line."""
+            return 1
+        '''
+    )
+    result = lint_tree({"src/repro/sim/x.py": source})
+    assert result.ok
+    assert count_disable_comments(source) == 0
+
+
+def test_count_disable_comments_counts_real_comments():
+    source = (
+        "import random\n"
+        "a = random.random()  # lint: disable=DET001\n"
+        "# lint: disable=DET003\n"
+        "b = list({1, 2})\n"
+    )
+    assert count_disable_comments(source) == 2

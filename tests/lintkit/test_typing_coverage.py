@@ -1,0 +1,57 @@
+"""Local guard for the mypy strictness contract.
+
+CI runs mypy with ``disallow_untyped_defs`` on ``repro.{core,cxl,sim,
+migration,verify}`` (see ``[tool.mypy]`` in pyproject.toml), but mypy
+is not installed in the hermetic test environment.  This test enforces
+the same surface syntactically: every function in those packages must
+annotate its return type and every parameter (``self``/``cls``
+excluded), so an unannotated def fails locally before CI sees it.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+TYPED_PACKAGES = ("core", "cxl", "sim", "migration", "verify")
+
+
+def _unannotated(node):
+    """Names of parameters missing annotations, plus the return slot."""
+    problems = []
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            problems.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            problems.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        problems.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        problems.append("**" + args.kwarg.arg)
+    if node.returns is None:
+        problems.append("return")
+    return problems
+
+
+def test_typed_packages_have_fully_annotated_defs():
+    missing = []
+    for package in TYPED_PACKAGES:
+        for path in sorted((SRC / "repro" / package).rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                problems = _unannotated(node)
+                if problems:
+                    rel = path.relative_to(SRC)
+                    missing.append(
+                        f"{rel}:{node.lineno} {node.name}({', '.join(problems)})"
+                    )
+    assert not missing, "unannotated defs in typed packages:\n" + "\n".join(
+        missing
+    )

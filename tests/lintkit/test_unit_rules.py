@@ -1,0 +1,128 @@
+"""Fixture tests for the unit-suffix rules UNIT001-UNIT003."""
+
+from tests.lintkit.conftest import rule_ids
+
+
+# ---------------------------------------------------------------------------
+# UNIT001: mixed-unit arithmetic
+
+
+def test_unit001_flags_adding_us_to_s(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/perf.py": """\
+                def total(latency_us, wait_s):
+                    return latency_us + wait_s
+                """
+        },
+        rules=["UNIT001"],
+    )
+    assert rule_ids(result) == ["UNIT001"]
+    msg = result.findings[0].message
+    assert "us" in msg and "s" in msg
+
+
+def test_unit001_flags_comparison_and_augassign(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/perf.py": """\
+                def check(latency_ns, budget_us, delta_us):
+                    acc_s = 0.0
+                    acc_s += delta_us
+                    return latency_ns > budget_us
+                """
+        },
+        rules=["UNIT001"],
+    )
+    assert len(result.findings) == 2
+
+
+def test_unit001_passes_same_unit_and_explicit_conversions(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/perf.py": """\
+                def total(latency_us, extra_us, wait_s):
+                    same = latency_us + extra_us
+                    converted = latency_us * 1e-6 + wait_s
+                    return same, converted
+                """
+        },
+        rules=["UNIT001"],
+    )
+    assert result.ok
+
+
+def test_unit001_passes_unit_preserving_calls(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/perf.py": """\
+                def clamp(latency_us, floor_us):
+                    return max(latency_us, floor_us) + floor_us
+                """
+        },
+        rules=["UNIT001"],
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# UNIT002: assignments across units
+
+
+def test_unit002_flags_assigning_us_to_s_name(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/perf.py": """\
+                def convert(duration_us):
+                    window_s = duration_us
+                    return window_s
+                """
+        },
+        rules=["UNIT002"],
+    )
+    assert rule_ids(result) == ["UNIT002"]
+
+
+def test_unit002_passes_converted_assignment(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/perf.py": """\
+                def convert(duration_us):
+                    window_s = duration_us * 1e-6
+                    window_us = duration_us
+                    return window_s, window_us
+                """
+        },
+        rules=["UNIT002"],
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# UNIT003: keyword arguments across units
+
+
+def test_unit003_flags_mismatched_keyword(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/sched.py": """\
+                def run(schedule, transfer_bytes):
+                    schedule(timeout_s=transfer_bytes)
+                """
+        },
+        rules=["UNIT003"],
+    )
+    assert rule_ids(result) == ["UNIT003"]
+
+
+def test_unit003_passes_matching_keyword(lint_tree):
+    result = lint_tree(
+        {
+            "src/repro/sim/sched.py": """\
+                def run(schedule, delay_s):
+                    schedule(timeout_s=delay_s)
+                """
+        },
+        rules=["UNIT003"],
+    )
+    assert result.ok

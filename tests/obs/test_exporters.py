@@ -98,9 +98,8 @@ class TestChromeTrace:
         tracer.current_epoch = 3
         clock = {"now": 1.0}
         tracer.sim_clock = lambda: clock["now"]
-        with tracer.span("run"):
-            with tracer.span("stage.perf", note=7):
-                clock["now"] = 2.0
+        with tracer.span("run"), tracer.span("stage.perf", note=7):
+            clock["now"] = 2.0
         return tracer
 
     def test_event_shape(self):

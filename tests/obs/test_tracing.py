@@ -9,10 +9,8 @@ from repro.sim.telemetry import RingBufferSink, TelemetryBus
 class TestSpanNesting:
     def test_depth_and_parent_child_attribution(self):
         tracer = Tracer()
-        with tracer.span("run"):
-            with tracer.span("stage.migrate"):
-                with tracer.span("migrate.tick"):
-                    time.sleep(0.002)
+        with tracer.span("run"), tracer.span("stage.migrate"), tracer.span("migrate.tick"):
+            time.sleep(0.002)
         by_name = {r.name: r for r in tracer.spans}
         assert by_name["run"].depth == 0
         assert by_name["stage.migrate"].depth == 1
@@ -31,9 +29,8 @@ class TestSpanNesting:
 
     def test_spans_record_in_completion_order(self):
         tracer = Tracer()
-        with tracer.span("outer"):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer"), tracer.span("inner"):
+            pass
         assert [r.name for r in tracer.spans] == ["inner", "outer"]
 
     def test_epoch_stamped_from_tracer(self):

@@ -22,7 +22,7 @@ class TestSlabAllocator:
             addr, cls = alloc.allocate(size)
             spans.append((addr, addr + cls))
         spans.sort()
-        for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+        for (_a0, a1), (b0, _b1) in zip(spans, spans[1:]):
             assert a1 <= b0
 
     def test_same_class_packs_one_page(self):
