@@ -97,8 +97,9 @@ class Damon(MigrationPolicy):
         merge_threshold: int = 2,
         access_scale: float = 1.0,
         seed: int = 42,
+        batched: bool = True,
     ):
-        super().__init__(memory, page_table)
+        super().__init__(memory, page_table, batched=batched)
         if sampling_interval_s <= 0 or aggregation_interval_s <= 0:
             raise ValueError("intervals must be positive")
         if not 2 <= min_nr_regions <= max_nr_regions:
@@ -119,6 +120,11 @@ class Damon(MigrationPolicy):
         self.regions: List[Region] = [
             Region(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a
         ]
+        # Batched engine: per-region sample counts live in this array
+        # (index-aligned with self.regions, which only mutates inside
+        # _aggregate) and are materialised into Region.nr_accesses at
+        # aggregation time.
+        self._nr_accesses = np.zeros(len(self.regions), dtype=np.int64)
         self._sample_debt_s = 0.0
         self._next_aggregate_s = self.aggregation_interval_s
         self._samples_this_window = 0
@@ -153,8 +159,11 @@ class Damon(MigrationPolicy):
         )
         p_bit = 1.0 - np.exp(-rate * self.sampling_interval_s)
         hits = (self._rng.random(picks.shape) < p_bit).sum(axis=0)
-        for region, h in zip(self.regions, hits.tolist()):
-            region.nr_accesses += int(h)
+        if self.batched:
+            self._nr_accesses += hits
+        else:
+            for region, h in zip(self.regions, hits.tolist()):
+                region.nr_accesses += int(h)
         total = num_passes * len(self.regions)
         self.samples_taken += total
         self._samples_this_window += num_passes
@@ -202,6 +211,11 @@ class Damon(MigrationPolicy):
         merge + split (the DAMOS hot-page scheme with a size quota)."""
         self.aggregations += 1
         self.costs.charge(AGGREGATE_COST_US, "aggregate")
+        if self.batched:
+            # Materialise the array counts so scoring and merge/split
+            # read the same values the reference loop maintains live.
+            for region, n in zip(self.regions, self._nr_accesses.tolist()):
+                region.nr_accesses = int(n)
         max_samples = max(1, self._samples_this_window)
         threshold = max(1.0, self.hot_threshold * max_samples)
         # Highest scoring regions first (quota prioritisation).
@@ -219,6 +233,7 @@ class Damon(MigrationPolicy):
         self._split_regions()
         for region in self.regions:
             region.nr_accesses = 0
+        self._nr_accesses = np.zeros(len(self.regions), dtype=np.int64)
         self._samples_this_window = 0
 
     def _detect(self, pages: np.ndarray, now_s: float, epoch_s: float) -> None:

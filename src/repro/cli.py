@@ -69,6 +69,7 @@ def _config_from(args) -> SimConfig:
         migration_copy_gbps=getattr(args, "mig_copy_gbps", 0.0),
         migration_enomem_policy=getattr(args, "mig_enomem", "demote-first"),
         check_invariants=getattr(args, "check_invariants", False),
+        engine=getattr(args, "engine", "batched"),
     )
 
 
@@ -392,6 +393,12 @@ def cmd_verify(args) -> int:
         },
         "sketch": {"seed": args.seed},
         "pac": {"seed": args.seed},
+        "engine": {
+            "bench": args.bench,
+            "policy": args.policy,
+            "seed": args.seed,
+        },
+        "kernels": {"seed": args.seed},
     }
     reports = run_all(names, **{n: overrides.get(n, {}) for n in names})
     failed = 0
@@ -455,6 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chunk", type=int, default=16_384)
         p.add_argument("--subsample", type=float, default=64.0)
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--engine", default="batched",
+                       choices=("reference", "batched"),
+                       help="epoch hot-path implementation: vectorized "
+                            "array kernels (batched) or the per-access "
+                            "reference loops; results are bit-identical")
 
     def add_migration_args(p):
         p.add_argument("--migration-mode", default="instant",
@@ -511,6 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--chunk", type=int, default=16_384)
     sweep.add_argument("--subsample", type=float, default=64.0)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--engine", default="batched",
+                       choices=("reference", "batched"),
+                       help="epoch hot-path implementation (bit-identical "
+                            "results; reference is the per-access baseline)")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the matrix cells")
     sweep.add_argument("--no-migrate", action="store_true",
@@ -542,7 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the differential oracle pairs (exact vs batched sketch, "
              "PAC cache vs direct, instant vs async-unlimited migration)",
     )
-    verify.add_argument("--oracles", default="sketch,pac,migration",
+    verify.add_argument("--oracles",
+                        default="sketch,pac,migration,engine,kernels",
                         help="comma-separated oracle names to run")
     verify.add_argument("--bench", default="mcf",
                         help="benchmark for the migration oracle")

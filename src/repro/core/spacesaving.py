@@ -20,6 +20,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.bulk import merge_counts
+
 
 class SpaceSaving:
     """Classic Space-Saving stream summary with N counters.
@@ -87,8 +89,52 @@ class SpaceSaving:
 
         Equivalent to replaying each unique key ``weight`` times
         consecutively, which is the standard weighted Space-Saving
-        extension.
+        extension.  Exactly matches :meth:`update_batch_reference`
+        (same counts, same ``items_seen``): offers before the first
+        full-table miss are hits or free-slot fills, neither of which
+        evicts, so that prefix is a bulk array merge; the contended
+        remainder replays through :meth:`update_one`.  The min-heap is
+        a lazy cache over ``_counts`` and is rebuilt once after the
+        bulk phase.
         """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        n = int(keys.size)
+        if n == 0:
+            return
+        if weights is None:
+            weights = np.ones(n, dtype=np.int64)
+        else:
+            weights = np.atleast_1d(np.asarray(weights, dtype=np.int64))
+        if np.unique(keys).size != n:
+            # Duplicate keys void the static hit/miss split below.
+            self.update_batch_reference(keys, weights)
+            return
+
+        if self._counts:
+            existing = np.fromiter(
+                self._counts.keys(), dtype=np.uint64, count=len(self._counts)
+            )
+            tracked = np.isin(keys, existing)
+        else:
+            existing = np.empty(0, dtype=np.uint64)
+            tracked = np.zeros(n, dtype=bool)
+        miss_pos = np.nonzero(~tracked)[0]
+        room = self.capacity - len(self._counts)
+        # Everything before the first miss that finds a full table is
+        # eviction-free and merges in one pass.
+        f = n if miss_pos.size <= room else int(miss_pos[room])
+        if f > 0:
+            self._counts = merge_counts(self._counts, keys[:f], weights[:f])
+            self.items_seen += int(weights[:f].sum())
+            self._heap = [(c, a) for a, c in self._counts.items()]
+            heapq.heapify(self._heap)
+        for i in range(f, n):
+            self.update_one(int(keys[i]), int(weights[i]))
+
+    def update_batch_reference(
+        self, keys: np.ndarray, weights: np.ndarray = None
+    ) -> None:
+        """Per-key loop :meth:`update_batch` — the differential oracle."""
         keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
         if weights is None:
             weights = np.ones(keys.size, dtype=np.int64)

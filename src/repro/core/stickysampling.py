@@ -20,6 +20,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.bulk import merge_counts
+
 
 class StickySampling:
     """Sticky-Sampling stream summary.
@@ -84,6 +86,64 @@ class StickySampling:
             self._counts[address] = 1
 
     def update_batch(self, keys: np.ndarray) -> None:
+        """Bulk update, exactly equivalent to per-key :meth:`update_one`.
+
+        Batching a sampling algorithm without changing its draws hinges
+        on two facts: a *tracked* hit consumes no randomness, and epoch
+        boundaries fall at positions fixed by ``items_seen`` alone.  So
+        within one epoch window, runs of already-tracked keys collapse
+        to a counted array merge, while every untracked-or-boundary key
+        replays through :meth:`update_one` so the RNG is consumed at
+        its exact sequential position.  Membership only grows inside a
+        window (diminishing happens at boundaries), so a stale
+        "untracked" flag merely routes a hit through ``update_one``,
+        which handles it identically — again without touching the RNG.
+        All-unique streams degenerate to the per-key path; the win
+        comes from the skewed streams trackers actually see.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        i, n = 0, int(keys.size)
+        while i < n:
+            room = self._epoch_end - self.items_seen
+            if room <= 0:
+                # Next item triggers the epoch advance (and its RNG
+                # draws); afterwards membership must be re-derived.
+                self.update_one(int(keys[i]))
+                i += 1
+                continue
+            window = keys[i:i + room]
+            if self._counts:
+                tracked_keys = np.fromiter(
+                    self._counts.keys(), dtype=np.uint64, count=len(self._counts)
+                )
+                is_tracked = np.isin(window, tracked_keys)
+            else:
+                is_tracked = np.zeros(window.size, dtype=bool)
+            # Segment the window into alternating tracked/untracked
+            # runs once, instead of rescanning after every key.
+            flips = np.nonzero(np.diff(is_tracked))[0] + 1
+            bounds = [0, *flips.tolist(), int(window.size)]
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                if is_tracked[lo]:
+                    self._bulk_count(window[lo:hi])
+                else:
+                    for j in range(lo, hi):
+                        self.update_one(int(window[j]))
+            i += int(window.size)
+
+    def _bulk_count(self, chunk: np.ndarray) -> None:
+        """Count a run of keys that were all tracked at window start.
+
+        Dict insertion order is preserved (the epoch-boundary diminish
+        consumes RNG draws in dict order, so order is semantic here):
+        counts are merged positionally into the existing key sequence.
+        """
+        uniq, counts = np.unique(chunk, return_counts=True)
+        self._counts = merge_counts(self._counts, uniq, counts)
+        self.items_seen += int(chunk.size)
+
+    def update_batch_reference(self, keys: np.ndarray) -> None:
+        """Per-key loop :meth:`update_batch` — the differential oracle."""
         for key in np.atleast_1d(np.asarray(keys, dtype=np.uint64)).tolist():
             self.update_one(int(key))
 

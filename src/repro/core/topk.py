@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 
 class SortedCam:
     """K-entry content-addressable top-K table."""
@@ -77,6 +79,102 @@ class SortedCam:
             return True
         self.rejections += 1
         return False
+
+    def offer_batch(self, addresses: np.ndarray, estimates: np.ndarray) -> int:
+        """Present a batch of (address, estimate) pairs, hottest first.
+
+        Exactly equivalent to calling :meth:`offer` once per pair in
+        order — same entries, same counts, same dict insertion order
+        (which future eviction tie-breaks depend on), same statistics —
+        but the bulk of the work is vectorised.  Preconditions, both
+        asserted: addresses are distinct within the batch, and
+        estimates are non-increasing (the order a tracker's ingest
+        produces).
+
+        The sequential semantics split into three regimes:
+
+        1. While the table has free entries no offer can evict, so the
+           prefix up to the fill point is a bulk dict update — hits
+           overwrite, misses insert in offer order.
+        2. With a full table, offers contend while their estimate
+           exceeds the table minimum: evictions and hits interleave
+           (an early eviction can remove an entry a later offer would
+           have hit), so this head is replayed one offer at a time.
+        3. Once an offer's estimate is ≤ the table minimum, no later
+           offer can evict either (estimates only fall, and a hit in
+           this regime can only lower the minimum further), so the
+           entire tail collapses to bulk hit-overwrites and counted
+           rejections.
+
+        Returns the number of offers tracked after the update.
+        """
+        addresses = np.atleast_1d(np.asarray(addresses, dtype=np.int64))
+        estimates = np.atleast_1d(np.asarray(estimates, dtype=np.int64))
+        n = int(addresses.size)
+        if n == 0:
+            return 0
+        assert estimates.size == n
+        assert np.all(estimates[:-1] >= estimates[1:]), "estimates must descend"
+        tracked = 0
+
+        # --- regime 1: bulk-fill while the table has free entries.
+        start = 0
+        free = self.k - len(self._entries)
+        if free > 0:
+            if self._entries:
+                existing = np.fromiter(
+                    self._entries.keys(), dtype=np.int64, count=len(self._entries)
+                )
+                is_hit = np.isin(addresses, existing)
+            else:
+                is_hit = np.zeros(n, dtype=bool)
+            miss_pos = np.nonzero(~is_hit)[0]
+            # The table fills at the `free`-th miss; everything before
+            # that point is a plain hit-or-insert.
+            start = n if miss_pos.size < free else int(miss_pos[free - 1]) + 1
+            head = slice(0, start)
+            self._entries.update(
+                zip(addresses[head].tolist(), estimates[head].tolist())
+            )
+            n_miss = int((~is_hit[head]).sum())
+            self.insertions += n_miss
+            self.hits += start - n_miss
+            tracked += start
+
+        # --- regime 2: contended head, replayed sequentially.
+        i = start
+        while i < n:
+            estimate = int(estimates[i])
+            min_addr = min(self._entries, key=self._entries.__getitem__)
+            if estimate <= self._entries[min_addr]:
+                break
+            address = int(addresses[i])
+            if address in self._entries:
+                self._entries[address] = estimate
+                self.hits += 1
+            else:
+                del self._entries[min_addr]
+                self._entries[address] = estimate
+                self.replacements += 1
+            tracked += 1
+            i += 1
+
+        # --- regime 3: bulk tail of hits and rejections.
+        if i < n:
+            tail = slice(i, n)
+            existing = np.fromiter(
+                self._entries.keys(), dtype=np.int64, count=len(self._entries)
+            )
+            is_hit = np.isin(addresses[tail], existing)
+            hit_addrs = addresses[tail][is_hit]
+            self._entries.update(
+                zip(hit_addrs.tolist(), estimates[tail][is_hit].tolist())
+            )
+            n_hits = int(is_hit.sum())
+            self.hits += n_hits
+            self.rejections += (n - i) - n_hits
+            tracked += n_hits
+        return tracked
 
     @property
     def offers(self) -> int:

@@ -30,6 +30,7 @@ from typing import Any, List, Tuple
 
 import numpy as np
 
+from repro.core.bulk import merge_counts
 from repro.core.sketch import DEFAULT_DEPTH, CountMinSketch
 from repro.core.spacesaving import MisraGries, SpaceSaving
 from repro.core.stickysampling import StickySampling
@@ -49,13 +50,19 @@ _GRANULARITY_SHIFT = {"page": PAGE_SHIFT, "word": WORD_SHIFT}
 class TopKTracker(abc.ABC):
     """Common shell: address keying, query/reset, statistics."""
 
-    def __init__(self, k: int, granularity: str = "page") -> None:
+    def __init__(
+        self, k: int, granularity: str = "page", batched: bool = True
+    ) -> None:
         if k <= 0:
             raise ValueError("k must be positive")
         if granularity not in _GRANULARITY_SHIFT:
             raise ValueError("granularity must be 'page' or 'word'")
         self.k = int(k)
         self.granularity = granularity
+        #: Engine selector: True uses the vectorized array kernels,
+        #: False the per-access reference loops.  Both are exactly
+        #: equivalent (asserted by the kernel oracles in repro.verify).
+        self.batched = bool(batched)
         self._shift = np.uint64(_GRANULARITY_SHIFT[granularity])
         self.accesses_observed = 0
         self.queries_served = 0
@@ -71,6 +78,22 @@ class TopKTracker(abc.ABC):
             return
         self.accesses_observed += int(keys.size)
         self._ingest(keys)
+
+    def observe_batch(self, batch: Any) -> None:
+        """Snoop a pre-digested :class:`~repro.cxl.batch.AccessBatch`.
+
+        Equivalent to ``observe(batch.addresses)`` but lets trackers
+        reuse the batch's memoized ``np.unique`` results instead of
+        re-deriving them per snoop.
+        """
+        if batch.size == 0:
+            return
+        self.accesses_observed += int(batch.size)
+        self._ingest_batch(batch)
+
+    def _ingest_batch(self, batch: Any) -> None:
+        # Default: no unique-reuse possible; fall back to raw keys.
+        self._ingest(self._keys_of(batch.addresses))
 
     @abc.abstractmethod
     def _ingest(self, keys: np.ndarray) -> None: ...
@@ -119,8 +142,9 @@ class CmSketchTopK(TopKTracker):
         granularity: str = "page",
         exact_sequence: bool = False,
         conservative: bool = False,
+        batched: bool = True,
     ) -> None:
-        super().__init__(k, granularity)
+        super().__init__(k, granularity, batched=batched)
         if num_counters < depth:
             raise ValueError("num_counters must be >= depth")
         width = max(1, num_counters // depth)
@@ -134,18 +158,41 @@ class CmSketchTopK(TopKTracker):
 
     def _ingest(self, keys: np.ndarray) -> None:
         if self.exact_sequence:
-            for key in keys.tolist():
-                estimate = self.sketch.update_one(key)
-                self.cam.offer(key, estimate)
+            self._ingest_sequence_reference(keys)
             return
         uniques, counts = np.unique(keys, return_counts=True)
+        self._ingest_uniques(uniques, counts)
+
+    def _ingest_batch(self, batch: Any) -> None:
+        if self.exact_sequence:
+            self._ingest_sequence_reference(self._keys_of(batch.addresses))
+            return
+        uniques, counts = batch.unique_keys(int(self._shift))
+        self._ingest_uniques(uniques, counts)
+
+    def _ingest_uniques(self, uniques: np.ndarray, counts: np.ndarray) -> None:
         self.sketch.update_batch(uniques, counts)
         estimates = self.sketch.estimate(uniques)
         # Offer hottest-first so CAM admission under a full table
         # mirrors what the sequential stream would converge to.
         order = np.argsort(-estimates.astype(np.int64), kind="stable")
-        for key, est in zip(uniques[order].tolist(), estimates[order].tolist()):
+        if self.batched:
+            self.cam.offer_batch(uniques[order], estimates[order])
+        else:
+            self._offer_reference(uniques[order], estimates[order])
+
+    def _offer_reference(self, keys: np.ndarray, estimates: np.ndarray) -> None:
+        """Per-key CAM offer loop — the differential oracle for
+        :meth:`SortedCam.offer_batch`."""
+        for key, est in zip(keys.tolist(), estimates.tolist()):
             self.cam.offer(int(key), int(est))
+
+    def _ingest_sequence_reference(self, keys: np.ndarray) -> None:
+        """One sketch-update + CAM-offer per access: the exact
+        hardware semantics (``exact_sequence=True``)."""
+        for key in keys.tolist():
+            estimate = self.sketch.update_one(key)
+            self.cam.offer(key, estimate)
 
     def _snapshot(self) -> List[Tuple[int, int]]:
         return self.cam.entries()
@@ -169,8 +216,9 @@ class SpaceSavingTopK(TopKTracker):
         capacity: int = 50,
         granularity: str = "page",
         exact_sequence: bool = False,
+        batched: bool = True,
     ) -> None:
-        super().__init__(k, granularity)
+        super().__init__(k, granularity, batched=batched)
         if capacity < k:
             raise ValueError("capacity must be >= k")
         self.summary = SpaceSaving(capacity)
@@ -182,8 +230,7 @@ class SpaceSavingTopK(TopKTracker):
 
     def _ingest(self, keys: np.ndarray) -> None:
         if self.exact_sequence:
-            for key in keys.tolist():
-                self.summary.update_one(int(key))
+            self._ingest_sequence_reference(keys)
             return
         # Run-length compress the chunk, preserving first-appearance
         # order (weighted Space-Saving).
@@ -191,7 +238,25 @@ class SpaceSavingTopK(TopKTracker):
             keys, return_index=True, return_counts=True
         )
         order = np.argsort(first_pos, kind="stable")
-        self.summary.update_batch(uniques[order], counts[order])
+        self._ingest_uniques(uniques[order], counts[order])
+
+    def _ingest_batch(self, batch: Any) -> None:
+        if self.exact_sequence:
+            self._ingest_sequence_reference(self._keys_of(batch.addresses))
+            return
+        uniques, counts = batch.unique_keys_ordered(int(self._shift))
+        self._ingest_uniques(uniques, counts)
+
+    def _ingest_uniques(self, uniques: np.ndarray, counts: np.ndarray) -> None:
+        if self.batched:
+            self.summary.update_batch(uniques, counts)
+        else:
+            self.summary.update_batch_reference(uniques, counts)
+
+    def _ingest_sequence_reference(self, keys: np.ndarray) -> None:
+        """One summary update per access (``exact_sequence=True``)."""
+        for key in keys.tolist():
+            self.summary.update_one(int(key))
 
     def _snapshot(self) -> List[Tuple[int, int]]:
         return self.summary.top_k(self.k)
@@ -214,9 +279,10 @@ class MisraGriesTopK(SpaceSavingTopK):
         capacity: int = 50,
         granularity: str = "page",
         exact_sequence: bool = False,
+        batched: bool = True,
     ) -> None:
         super().__init__(k, capacity=capacity, granularity=granularity,
-                         exact_sequence=exact_sequence)
+                         exact_sequence=exact_sequence, batched=batched)
         self.summary = MisraGries(capacity)
 
 
@@ -236,12 +302,18 @@ class StickySamplingTopK(TopKTracker):
         error: float = 0.0002,
         granularity: str = "page",
         seed: int = 5,
+        batched: bool = True,
     ) -> None:
-        super().__init__(k, granularity)
+        super().__init__(k, granularity, batched=batched)
         self.summary = StickySampling(support=support, error=error, seed=seed)
 
     def _ingest(self, keys: np.ndarray) -> None:
-        self.summary.update_batch(keys)
+        # No _ingest_batch override: sampling admission depends on key
+        # order and RNG position, so the raw key stream is required.
+        if self.batched:
+            self.summary.update_batch(keys)
+        else:
+            self.summary.update_batch_reference(keys)
 
     def _snapshot(self) -> List[Tuple[int, int]]:
         return self.summary.top_k(self.k)
@@ -257,12 +329,28 @@ class ExactTopK(TopKTracker):
     role); used as an upper bound and for differential testing.
     """
 
-    def __init__(self, k: int, granularity: str = "page") -> None:
-        super().__init__(k, granularity)
+    def __init__(
+        self, k: int, granularity: str = "page", batched: bool = True
+    ) -> None:
+        super().__init__(k, granularity, batched=batched)
         self._counts: dict = {}
 
     def _ingest(self, keys: np.ndarray) -> None:
         uniques, counts = np.unique(keys, return_counts=True)
+        self._ingest_uniques(uniques, counts)
+
+    def _ingest_batch(self, batch: Any) -> None:
+        self._ingest_uniques(*batch.unique_keys(int(self._shift)))
+
+    def _ingest_uniques(self, uniques: np.ndarray, counts: np.ndarray) -> None:
+        if self.batched:
+            self._counts = merge_counts(self._counts, uniques, counts)
+        else:
+            self._ingest_uniques_reference(uniques, counts)
+
+    def _ingest_uniques_reference(
+        self, uniques: np.ndarray, counts: np.ndarray
+    ) -> None:
         for key, count in zip(uniques.tolist(), counts.tolist()):
             self._counts[int(key)] = self._counts.get(int(key), 0) + int(count)
 
@@ -316,5 +404,5 @@ def _make(
     if algorithm == "sticky-sampling":
         return StickySamplingTopK(k, granularity=granularity, **kwargs)
     if algorithm == "exact":
-        return ExactTopK(k, granularity=granularity)
+        return ExactTopK(k, granularity=granularity, **kwargs)
     raise ValueError(f"unknown tracker algorithm {algorithm!r}")

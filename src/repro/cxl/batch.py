@@ -1,0 +1,64 @@
+"""Pre-digested access batches for the controller snoop fan-out.
+
+Every snoop attached to the CXL controller used to rediscover the same
+structure per epoch chunk — page keys, word keys, their uniques and
+multiplicities.  An :class:`AccessBatch` wraps one region-filtered
+chunk of physical addresses and memoizes the ``np.unique`` digest per
+granularity shift, so the PAC, WAC and each attached tracker share one
+pass over the data instead of running their own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+_Digest = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class AccessBatch:
+    """One chunk of physical byte addresses, digest-on-demand.
+
+    Args:
+        addresses: physical byte addresses (uint64), already filtered
+            to the controller's region.
+        region: the :class:`~repro.memory.address.Region` the
+            addresses were filtered against, if any — consumers whose
+            own window differs (e.g. the WAC's monitor window) must
+            re-filter.
+    """
+
+    def __init__(self, addresses: np.ndarray, region: Any = None) -> None:
+        self.addresses = np.atleast_1d(np.asarray(addresses, dtype=np.uint64))
+        self.region = region
+        self._digests: Dict[int, _Digest] = {}
+        self._ordered: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def size(self) -> int:
+        return int(self.addresses.size)
+
+    def _digest(self, shift: int) -> _Digest:
+        digest = self._digests.get(shift)
+        if digest is None:
+            keys = self.addresses >> np.uint64(shift)
+            digest = np.unique(keys, return_index=True, return_counts=True)
+            self._digests[shift] = digest
+        return digest
+
+    def unique_keys(self, shift: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(unique keys ascending, multiplicities) at ``PA >> shift``."""
+        uniques, _, counts = self._digest(shift)
+        return uniques, counts
+
+    def unique_keys_ordered(self, shift: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`unique_keys`, but in first-appearance order —
+        what order-sensitive summaries (weighted Space-Saving) replay."""
+        ordered = self._ordered.get(shift)
+        if ordered is None:
+            uniques, first_pos, counts = self._digest(shift)
+            order = np.argsort(first_pos, kind="stable")
+            ordered = (uniques[order], counts[order])
+            self._ordered[shift] = ordered
+        return ordered

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, List, Optional, Protocol
 
 import numpy as np
 
+from repro.cxl.batch import AccessBatch
 from repro.memory.address import AddressRegion
 
 if TYPE_CHECKING:
@@ -54,9 +55,14 @@ class CxlController:
         region: AddressRegion,
         access_latency_ns: float = 270.0,
         metrics: Optional[MetricsRegistry] = None,
+        batched: bool = True,
     ) -> None:
         self.region = region
         self.access_latency_ns = float(access_latency_ns)
+        #: When True, snoops exposing ``observe_batch`` receive one
+        #: shared :class:`~repro.cxl.batch.AccessBatch` whose unique-key
+        #: digests are computed once per chunk instead of once per AFU.
+        self.batched = bool(batched)
         self._snoops: List[AddressSnoop] = []
         self.requests_served = 0
         if metrics is None:
@@ -105,8 +111,14 @@ class CxlController:
         pa = in_region
         if pa.size == 0:
             return 0
+        batch = None
+        if self.batched and self._snoops:
+            batch = AccessBatch(pa, region=self.region)
         for snoop in self._snoops:
-            snoop.observe(pa)
+            if batch is not None and hasattr(snoop, "observe_batch"):
+                snoop.observe_batch(batch)
+            else:
+                snoop.observe(pa)
         self.requests_served += int(pa.size)
         self._m_requests.inc(int(pa.size))
         return int(pa.size)

@@ -22,10 +22,12 @@ import numpy as np
 from numpy.typing import ArrayLike
 
 from repro.memory.address import (
+    PAGE_SHIFT,
     WORDS_PER_PAGE_SHIFT,
     AddressRegion,
     as_line_array,
 )
+from repro.cxl.batch import AccessBatch
 from repro.cxl.mmio import CounterWindow, RegisterFile
 
 
@@ -48,11 +50,19 @@ class PageAccessCounter:
         region: AddressRegion,
         counter_bits: int = 16,
         sram_counters: Optional[int] = None,
+        batched: bool = True,
     ) -> None:
         if not 1 <= counter_bits <= 32:
             raise ValueError("counter_bits must be in [1, 32]")
         self.region = region
         self.counter_bits = counter_bits
+        #: True: chunk-at-a-time counter updates (bincount/scatter).
+        #: False: one increment-and-spill-on-saturation per access, the
+        #: literal hardware semantics.  ``counts()`` is identical either
+        #: way (both conserve table+SRAM totals); only the ``spills``
+        #: statistic differs, since a chunk spill covers several
+        #: saturations at once.
+        self.batched = bool(batched)
         self._saturation = (1 << counter_bits) - 1
         self.num_pages = region.num_pages
 
@@ -109,22 +119,61 @@ class PageAccessCounter:
         self.total_accesses += int(rel.size)
         if self._cache_mode:
             self._observe_cached(rel)
-        else:
+        elif self.batched:
             self._observe_direct(rel)
+        else:
+            self._observe_direct_reference(rel)
+
+    def observe_batch(self, batch: AccessBatch) -> None:
+        """Snoop a pre-digested :class:`~repro.cxl.batch.AccessBatch`.
+
+        Reuses the batch's memoized page-granularity uniques when the
+        batch was filtered against this counter's own region; any other
+        configuration falls back to :meth:`observe`.
+        """
+        if not self.enabled:
+            return
+        if (batch.region is not self.region or self._cache_mode
+                or not self.batched):
+            self.observe(batch.addresses)
+            return
+        if batch.size == 0:
+            return
+        pfns, counts = batch.unique_keys(PAGE_SHIFT)
+        rel = pfns.astype(np.int64) - self.region.first_page
+        self.total_accesses += batch.size
+        self._apply_direct(rel, counts.astype(np.uint64))
 
     def _observe_direct(self, rel: np.ndarray) -> None:
-        counts = np.bincount(rel, minlength=self._num_sram).astype(np.uint64)
-        current = self._sram.astype(np.uint64)
-        new = current + counts
+        uniq, counts = np.unique(rel, return_counts=True)
+        self._apply_direct(uniq, counts.astype(np.uint64))
+
+    def _apply_direct(self, rel: np.ndarray, counts: np.ndarray) -> None:
+        """Add per-slot chunk counts (``rel`` unique slot indices,
+        ``counts`` their totals), spilling saturated counters.  Sparse
+        on purpose: only the chunk's slots are touched, never the full
+        SRAM array."""
+        new = self._sram[rel].astype(np.uint64) + counts
         overflow = new > self._saturation
         if overflow.any():
             # Accumulate the saturated portion into the 64-bit table
             # and reset the SRAM counter (paper §3: "PAC may reset
             # saturated counters after accumulating them").
             self.spills += int(overflow.sum())
-            self._table[overflow] += new[overflow]
+            self._table[rel[overflow]] += new[overflow]
             new[overflow] = 0
-        self._sram[:] = new.astype(np.uint32)
+        self._sram[rel] = new.astype(np.uint32)
+
+    def _observe_direct_reference(self, rel: np.ndarray) -> None:
+        """One increment per access, spilling at each saturation
+        crossing — the per-access hardware semantics."""
+        for r in rel.tolist():
+            count = int(self._sram[r]) + 1
+            if count > self._saturation:
+                self._table[r] += np.uint64(count)
+                self.spills += 1
+                count = 0
+            self._sram[r] = count
 
     def _observe_cached(self, rel: np.ndarray) -> None:
         # Direct-mapped cache of counters; sequential semantics matter
@@ -136,6 +185,9 @@ class PageAccessCounter:
         run_lens = np.diff(starts, append=rel.size)
         run_sets = run_pfns % self._num_sram
         period = self._saturation + 1
+        # lint: disable=PERF001 -- loop is over run-length-compressed
+        # runs, not accesses; direct-mapped eviction order is
+        # inherently sequential per SRAM set
         for pfn_rel, set_idx, n in zip(
             run_pfns.tolist(), run_sets.tolist(), run_lens.tolist()
         ):

@@ -1,3 +1,9 @@
 """Rule modules — importing this package registers every rule."""
 
-from repro.lintkit.rules import determinism, drift, dtype, units  # noqa: F401
+from repro.lintkit.rules import (  # noqa: F401
+    determinism,
+    drift,
+    dtype,
+    perf,
+    units,
+)

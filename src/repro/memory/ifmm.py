@@ -88,6 +88,9 @@ class FlatMemoryMode:
         # via python loop over a run-length-compressed view: repeated
         # consecutive accesses to the same word all hit after the
         # first.
+        # lint: disable=PERF001 -- per-slot swap state makes each access
+        # depend on the previous one; no vectorization preserves the
+        # hit/swap sequence
         for i, word in enumerate(words.tolist()):
             slot = word % self.ddr_words
             if self._in_slot[slot] == word:

@@ -74,6 +74,7 @@ class MigrationEngine:
         cost_model: Optional[MigrationCostModel] = None,
         mglru: Optional[MultiGenLru] = None,
         ddr_reserve_pages: int = 0,
+        batched: bool = True,
     ):
         self.memory = memory
         self.cost_model = cost_model if cost_model is not None else MigrationCostModel()
@@ -81,7 +82,14 @@ class MigrationEngine:
             mglru if mglru is not None else MultiGenLru(memory.num_logical_pages)
         )
         self.ddr_reserve_pages = int(ddr_reserve_pages)
+        #: Engine selector: bulk frame moves vs the per-page reference
+        #: loop.  The batched path reproduces the reference loop's
+        #: frame assignments exactly (see :meth:`promote`).
+        self.batched = bool(batched)
         self._pins = np.zeros(memory.num_logical_pages, dtype=np.int8)
+        # Cached "any page pinned" flag so the promote fast path does
+        # not pay an O(footprint) any() per call.
+        self._has_pins = False
         self._PIN_CODE = {
             PinReason.NONE: 0,
             PinReason.DMA: 1,
@@ -95,9 +103,11 @@ class MigrationEngine:
         if reason is PinReason.NONE:
             raise ValueError("use unpin() to clear pins")
         self._pins[np.asarray(pages, dtype=np.int64)] = self._PIN_CODE[reason]
+        self._has_pins = True
 
     def unpin(self, pages: np.ndarray) -> None:
         self._pins[np.asarray(pages, dtype=np.int64)] = 0
+        self._has_pins = bool(self._pins.any())
 
     def pin_reason(self, page: int) -> PinReason:
         return self._CODE_PIN[int(self._pins[page])]
@@ -132,8 +142,77 @@ class MigrationEngine:
         on_cxl = pages[self.memory.node_map[pages] == 1]
         if on_cxl.size == 0:
             return 0
-        promoted = 0
         budget = self.memory.ddr.free_pages - self.ddr_reserve_pages
+        free = min(max(budget, 0), int(on_cxl.size))
+        paired = int(on_cxl.size) - free
+        # The bulk path must reproduce the reference loop's frame
+        # assignments exactly.  Pins re-enter the picture mid-loop
+        # (a pinned victim perturbs the budget), and a full CXL node
+        # makes the victim demote fail — both rare; replay those
+        # sequentially rather than modelling them twice.
+        if (not self.batched or self._has_pins
+                or (paired > 0 and self.memory.cxl.free_pages < 1)):
+            promoted = self._promote_reference(pages, on_cxl, budget)
+        else:
+            promoted = free
+            if free:
+                self.memory.move_pages(on_cxl[:free], NodeKind.DDR)
+                self.mglru.track(on_cxl[:free])
+            if paired:
+                promoted += self._promote_paired(pages, on_cxl[free:])
+        self.stats.promoted += promoted
+        self.stats.time_us += self.cost_model.cost_us(promoted)
+        return promoted
+
+    def _promote_paired(self, pages: np.ndarray, remaining: np.ndarray) -> int:
+        """Promote with zero DDR headroom: every promotion demotes one
+        MGLRU victim, reproducing the reference loop's alternating
+        demote/promote frame traffic in bulk.
+
+        The victim list can be hoisted out of the loop: demoted victims
+        leave the candidate pool, pages promoted mid-loop join it but
+        are in the request (hence forbidden), and nothing else changes
+        generation or heat mid-call — so the reference loop's i-th
+        victim is the i-th entry of one up-front coldest() sweep with
+        the requested pages masked out.
+
+        Frame assignments follow from the LIFO free lists: each
+        demotion's DDR frame is immediately reused by the paired
+        promotion, so promoted page i inherits victim i's DDR frame,
+        victim 0 takes the CXL free-list head, and victim i+1 takes
+        promoted page i's old CXL frame.
+        """
+        ddr_pages = self.memory.pages_on(NodeKind.DDR)
+        victims = self.mglru.coldest(len(ddr_pages), among=ddr_pages)
+        victims = victims[~np.isin(victims, pages)]
+        t = min(int(remaining.size), int(victims.size))
+        if t == 0:
+            return 0
+        victims, promos = victims[:t], remaining[:t]
+        frame_of = self.memory.frame_map
+        ddr_frames = frame_of[victims].copy()
+        cxl_frames = frame_of[promos].copy()
+        victim_frames = np.empty(t, dtype=np.int64)
+        victim_frames[0] = self.memory.cxl.allocate_frame()
+        victim_frames[1:] = cxl_frames[:-1]
+        self.memory.cxl.free_frame(int(cxl_frames[-1]))
+        # The DDR free list is untouched net of the loop: each freed
+        # victim frame is popped right back by the paired promotion.
+        self.memory._frame_of[victims] = victim_frames
+        self.memory._node_of[victims] = self.memory._NODE_CODE[NodeKind.CXL]
+        self.memory._frame_of[promos] = ddr_frames
+        self.memory._node_of[promos] = self.memory._NODE_CODE[NodeKind.DDR]
+        self.mglru.untrack(victims)
+        self.mglru.track(promos)
+        self.stats.demoted += t
+        self.stats.time_us += self.cost_model.cost_us(t)
+        return t
+
+    def _promote_reference(
+        self, pages: np.ndarray, on_cxl: np.ndarray, budget: int
+    ) -> int:
+        """One demote/promote pair per page — the reference engine."""
+        promoted = 0
         for lpage in on_cxl.tolist():
             if budget <= 0:
                 # Demote one victim to make room; never demote a page
@@ -151,8 +230,6 @@ class MigrationEngine:
             self.mglru.track(np.array([lpage]))
             promoted += 1
             budget -= 1
-        self.stats.promoted += promoted
-        self.stats.time_us += self.cost_model.cost_us(promoted)
         return promoted
 
     def demote(self, pages: np.ndarray) -> int:
@@ -160,6 +237,22 @@ class MigrationEngine:
         pages = np.unique(np.asarray(pages, dtype=np.int64))
         pages = self._reject_pinned(pages)
         on_ddr = pages[self.memory.node_map[pages] == 0]
+        if self.batched:
+            # The reference loop stops at the first failed CXL
+            # allocation, i.e. it demotes exactly the first
+            # free_pages-many pages of the batch.
+            demoted = min(int(on_ddr.size), self.memory.cxl.free_pages)
+            if demoted:
+                self.memory.move_pages(on_ddr[:demoted], NodeKind.CXL)
+                self.mglru.untrack(on_ddr[:demoted])
+        else:
+            demoted = self._demote_reference(on_ddr)
+        self.stats.demoted += demoted
+        self.stats.time_us += self.cost_model.cost_us(demoted)
+        return demoted
+
+    def _demote_reference(self, on_ddr: np.ndarray) -> int:
+        """One page move per demotion — the reference engine."""
         demoted = 0
         for lpage in on_ddr.tolist():
             try:
@@ -168,8 +261,6 @@ class MigrationEngine:
                 break
             self.mglru.untrack(np.array([lpage]))
             demoted += 1
-        self.stats.demoted += demoted
-        self.stats.time_us += self.cost_model.cost_us(demoted)
         return demoted
 
     def reset_stats(self) -> None:

@@ -78,11 +78,34 @@ class MemoryNode:
             raise MemoryError(f"{self.kind.value} node out of frames")
         return self.first_frame + self._free.pop()
 
+    def allocate_frames(self, n: int) -> np.ndarray:
+        """Allocate ``n`` frames at once; absolute PFNs in pop order.
+
+        Identical frames, in the identical order, as ``n`` calls to
+        :meth:`allocate_frame` — the free list is LIFO, so the batch is
+        the reversed tail.
+        """
+        n = int(n)
+        if n > len(self._free):
+            raise MemoryError(f"{self.kind.value} node out of frames")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        rels = self._free[-1:-n - 1:-1]
+        del self._free[-n:]
+        return self.first_frame + np.asarray(rels, dtype=np.int64)
+
     def free_frame(self, pfn: int) -> None:
         rel = int(pfn) - self.first_frame
         if not 0 <= rel < self.capacity_pages:
             raise ValueError(f"PFN {pfn:#x} not in {self.kind.value} node")
         self._free.append(rel)
+
+    def free_frames(self, pfns: np.ndarray) -> None:
+        """Release a batch of frames, in array order (LIFO-faithful)."""
+        rel = np.asarray(pfns, dtype=np.int64) - self.first_frame
+        if ((rel < 0) | (rel >= self.capacity_pages)).any():
+            raise ValueError(f"PFN batch not in {self.kind.value} node")
+        self._free.extend(rel.tolist())
 
     def record_accesses(self, n: int) -> None:
         self.accesses_this_epoch += int(n)
@@ -109,6 +132,7 @@ class TieredMemory:
         num_logical_pages: int,
         ddr_latency_ns: float = DDR_LATENCY_NS,
         cxl_latency_ns: float = CXL_LATENCY_NS,
+        batched: bool = True,
     ):
         if num_logical_pages <= 0:
             raise ValueError("num_logical_pages must be positive")
@@ -117,6 +141,10 @@ class TieredMemory:
         self.ddr = MemoryNode(NodeKind.DDR, ddr_pages, DDR_BASE, ddr_latency_ns)
         self.cxl = MemoryNode(NodeKind.CXL, cxl_pages, CXL_BASE, cxl_latency_ns)
         self.num_logical_pages = int(num_logical_pages)
+        #: Engine selector for the access path: vectorized translate /
+        #: accounting kernels vs per-access reference loops.  Results
+        #: are identical; only the cost differs.
+        self.batched = bool(batched)
 
         # page → absolute PFN and page → node kind (vectorised maps).
         self._frame_of = np.full(num_logical_pages, -1, dtype=np.int64)
@@ -225,11 +253,43 @@ class TieredMemory:
         self._node_of[lpage] = code
         return new_pfn
 
+    def move_pages(self, lpages: np.ndarray, to: NodeKind) -> np.ndarray:
+        """Bulk :meth:`move_page`: rebind ``lpages`` to frames on ``to``.
+
+        Exactly equivalent to looping :meth:`move_page` over the array
+        — destination frames come off the LIFO free list in the same
+        order, and source frames are released in the same page order —
+        provided no page already resides on ``to`` (callers filter, as
+        the sequential loop's no-op branch would otherwise interleave
+        differently).  Raises MemoryError before touching anything if
+        the destination cannot hold the whole batch.
+        """
+        lpages = np.asarray(lpages, dtype=np.int64)
+        if lpages.size == 0:
+            return np.empty(0, dtype=np.int64)
+        code = self._NODE_CODE[to]
+        codes = self._node_of[lpages]
+        if (codes < 0).any():
+            raise KeyError("move of unallocated logical page")
+        if (codes == code).any():
+            raise ValueError("bulk move requires all pages off the target")
+        new_pfns = self.node(to).allocate_frames(lpages.size)
+        old_pfns = self._frame_of[lpages]
+        for kind in (NodeKind.DDR, NodeKind.CXL):
+            mask = codes == self._NODE_CODE[kind]
+            if mask.any():
+                self.node(kind).free_frames(old_pfns[mask])
+        self._frame_of[lpages] = new_pfns
+        self._node_of[lpages] = code
+        return new_pfns
+
     # ------------------------------------------------------------------
     # access path
 
     def translate(self, logical_addresses: np.ndarray) -> np.ndarray:
         """Translate logical byte addresses to physical byte addresses."""
+        if not self.batched:
+            return self._translate_reference(logical_addresses)
         la = np.asarray(logical_addresses, dtype=np.uint64)
         lpages = (la >> np.uint64(PAGE_SHIFT)).astype(np.int64)
         frames = self._frame_of[lpages]
@@ -238,13 +298,36 @@ class TieredMemory:
         offset = la & np.uint64(PAGE_SIZE - 1)
         return (frames.astype(np.uint64) << np.uint64(PAGE_SHIFT)) | offset
 
+    def _translate_reference(self, logical_addresses: np.ndarray) -> np.ndarray:
+        """One page-table walk per access — the reference engine."""
+        la = np.asarray(logical_addresses, dtype=np.uint64)
+        out = np.empty(la.shape, dtype=np.uint64)
+        for i, addr in enumerate(la.tolist()):
+            frame = int(self._frame_of[addr >> PAGE_SHIFT])
+            if frame < 0:
+                raise KeyError("access to unallocated logical page")
+            out[i] = (frame << PAGE_SHIFT) | (addr & (PAGE_SIZE - 1))
+        return out
+
     def record_epoch_accesses(self, logical_pages: np.ndarray) -> None:
         """Account a batch of page-granular accesses to node counters."""
+        if not self.batched:
+            self._record_epoch_accesses_reference(logical_pages)
+            return
         codes = self._node_of[np.asarray(logical_pages, dtype=np.int64)]
         n_ddr = int((codes == 0).sum())
         n_cxl = int((codes == 1).sum())
         self.ddr.record_accesses(n_ddr)
         self.cxl.record_accesses(n_cxl)
+
+    def _record_epoch_accesses_reference(self, logical_pages) -> None:
+        """One node-counter increment per access — the reference engine."""
+        for lpage in np.asarray(logical_pages, dtype=np.int64).tolist():
+            code = self._node_of[lpage]
+            if code == 0:
+                self.ddr.record_accesses(1)
+            elif code == 1:
+                self.cxl.record_accesses(1)
 
     def begin_epoch(self, epoch_seconds: float = 1.0) -> None:
         if epoch_seconds <= 0:

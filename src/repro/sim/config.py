@@ -108,6 +108,13 @@ class SimConfig:
     #: pipeline stays bit-identical to the frozen goldens; on, a
     #: violation aborts the run with an ``InvariantViolation``.
     check_invariants: bool = False
+    #: Epoch hot-path implementation: ``"batched"`` flows each chunk
+    #: through vectorized array kernels end to end; ``"reference"``
+    #: keeps the per-access Python loops.  Results are bit-identical
+    #: (enforced by the ``engine``/``kernels`` oracles in
+    #: :mod:`repro.verify`); the reference path exists for goldens,
+    #: debugging, and the ``tools/bench_engine.py`` speedup baseline.
+    engine: str = "batched"
     seed: int = 0
     checkpoints: int = 10
     pages_per_gb: int = PAGES_PER_GB
@@ -131,6 +138,10 @@ class SimConfig:
         if self.migration_enomem_policy not in ("demote-first", "abort"):
             raise ValueError(
                 "migration_enomem_policy must be 'demote-first' or 'abort'"
+            )
+        if self.engine not in ("reference", "batched"):
+            raise ValueError(
+                f"engine must be 'reference' or 'batched', got {self.engine!r}"
             )
         if self.migration_inflight_budget < 1:
             raise ValueError("migration_inflight_budget must be positive")

@@ -79,6 +79,16 @@ class PerformanceModel:
         #: the per-core share.
         self.cores = max(1, spec.cores)
         self.epochs: List[EpochPerf] = []
+        # Running totals, accumulated in record_epoch.  The aggregate
+        # properties are read once per epoch (progress callbacks,
+        # invariant checks), so recomputing sum(...) over the epoch
+        # list made each of them O(epochs) — O(E^2) per run.  Adding
+        # left-to-right from 0.0 is exactly what sum() does, so the
+        # totals stay bit-identical to the recomputed values.
+        self._execution_s = 0.0
+        self._app_s = 0.0
+        self._overhead_s = 0.0
+        self._migration_s = 0.0
 
     def _node_memory_s(
         self,
@@ -159,6 +169,10 @@ class PerformanceModel:
             * self.config.migration_overlap,
         )
         self.epochs.append(perf)
+        self._execution_s += perf.total_s
+        self._app_s += perf.compute_s + perf.memory_s
+        self._overhead_s += perf.overhead_s
+        self._migration_s += perf.migration_s
         return perf
 
     # ------------------------------------------------------------------
@@ -166,20 +180,20 @@ class PerformanceModel:
 
     @property
     def execution_time_s(self) -> float:
-        return sum(e.total_s for e in self.epochs)
+        return self._execution_s
 
     @property
     def app_time_s(self) -> float:
         """Time excluding policy/migration overhead."""
-        return sum(e.compute_s + e.memory_s for e in self.epochs)
+        return self._app_s
 
     @property
     def overhead_time_s(self) -> float:
-        return sum(e.overhead_s for e in self.epochs)
+        return self._overhead_s
 
     @property
     def migration_time_s(self) -> float:
-        return sum(e.migration_s for e in self.epochs)
+        return self._migration_s
 
     def overhead_utilisation(self) -> float:
         """Fraction of core time consumed by hot-page identification."""

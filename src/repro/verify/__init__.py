@@ -10,7 +10,9 @@ Three layers guard the repro's trackers and migration paths (see
 * :mod:`repro.verify.differential` — paired-configuration oracles
   (``repro verify`` / ``tools/run_differential.py``): exact vs batched
   sketch, PAC cache vs direct mode, instant vs async-unlimited
-  migration, diffed with per-field tolerances.
+  migration, reference vs batched engine (full pipeline, bit-exact),
+  and per-kernel batched vs reference state, diffed with per-field
+  tolerances.
 * ``tests/verify/`` — Hypothesis property suites encoding the paper's
   analytical guarantees (CM-Sketch never underestimates, Space-Saving
   overestimates within N/K, exact-oracle CAM selection, MGLRU victim
@@ -23,6 +25,8 @@ from repro.verify.differential import (
     DiffRow,
     OracleReport,
     diff_run_results,
+    engine_oracle,
+    kernels_oracle,
     migration_oracle,
     pac_oracle,
     run_all,
@@ -46,5 +50,7 @@ __all__ = [
     "sketch_oracle",
     "pac_oracle",
     "migration_oracle",
+    "engine_oracle",
+    "kernels_oracle",
     "run_all",
 ]

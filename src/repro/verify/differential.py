@@ -7,7 +7,7 @@ path the pipeline actually runs, and the two must agree — exactly
 where the docstrings promise identical state, within a tolerance where
 only the aggregate behaviour is guaranteed.
 
-Three oracle pairs (``repro verify`` / ``tools/run_differential.py``):
+Five oracle pairs (``repro verify`` / ``tools/run_differential.py``):
 
 * ``sketch`` — :class:`~repro.core.trackers.CmSketchTopK` with
   ``exact_sequence=True`` (per-access hardware semantics) vs the
@@ -25,6 +25,17 @@ Three oracle pairs (``repro verify`` / ``tools/run_differential.py``):
   must agree within small tolerances; execution time agrees loosely
   (the async cost model charges remap CPU + copy contention instead
   of the flat 54 µs).
+* ``engine`` — a full simulation with ``engine="reference"``
+  (per-access Python loops in every stage) vs ``engine="batched"``
+  (the vectorized array kernels).  Zero tolerance everywhere: the
+  batched hot path promises bit-identical results, down to the
+  hot-PFN list.
+* ``kernels`` — each vectorized kernel against its per-access
+  reference implementation on one shared skewed stream: trackers
+  (CM-Sketch/CAM, SpaceSaving, MisraGries, StickySampling, Exact),
+  PAC/WAC observe, MGLRU generation updates, address translation,
+  and bulk promote/demote frame placement.  All state comparisons
+  are exact (mismatch counts with zero tolerance).
 
 Every comparison is a :class:`DiffRow` with a per-field tolerance
 (0 = bit-exact required), collected into an :class:`OracleReport`.
@@ -304,18 +315,195 @@ def migration_oracle(
     return report
 
 
+# ----------------------------------------------------------------------
+# oracle 4: reference vs batched engine (full pipeline, bit-exact)
+
+
+def engine_oracle(
+    bench: str = "mcf",
+    policy: str = "m5-hpt",
+    seed: int = 1,
+    accesses: int = 120_000,
+    chunk: int = 15_000,
+) -> OracleReport:
+    """Full reference-engine vs batched-engine runs, zero tolerance.
+
+    The batched hot path is a pure reimplementation — every stage
+    promises identical end state — so *every* field must match
+    exactly, including the hot-PFN list contents and order.
+    """
+    report = OracleReport(
+        "engine",
+        f"{bench}/{policy}: reference vs batched epoch hot path "
+        "(bit-exact)",
+    )
+    results = {}
+    for engine in ("reference", "batched"):
+        cfg = SimConfig(
+            total_accesses=accesses,
+            chunk_size=chunk,
+            checkpoints=2,
+            seed=seed,
+            engine=engine,
+        )
+        sim = Simulation(
+            registry.build(bench, seed=seed), cfg, policy=policy,
+            enable_wac=policy.startswith("m5"),
+        )
+        results[engine] = sim.run()
+    a, b = results["reference"], results["batched"]
+    report.rows.extend(diff_run_results(a, b, tolerances={}))
+    report.add("overhead_time_s", a.overhead_time_s, b.overhead_time_s)
+    report.add("migration_time_s", a.migration_time_s, b.migration_time_s)
+    report.add(
+        "hot_pfn_mismatches",
+        0,
+        sum(x != y for x, y in zip(a.hot_pfns, b.hot_pfns))
+        + abs(len(a.hot_pfns) - len(b.hot_pfns)),
+    )
+    report.add(
+        "ratio_checkpoint_mismatches",
+        0,
+        sum(x != y for x, y in zip(a.ratio_checkpoints, b.ratio_checkpoints)),
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# oracle 5: per-kernel batched vs reference state
+
+
+def kernels_oracle(seed: int = 0, accesses: int = 60_000) -> OracleReport:
+    """Each vectorized kernel vs its per-access reference twin.
+
+    One skewed stream drives paired instances (``batched=True`` vs
+    ``batched=False``) of every structure the epoch hot path
+    vectorizes; their internal state must match exactly afterwards.
+    """
+    from repro.core.trackers import make_hpt
+    from repro.cxl.batch import AccessBatch
+    from repro.cxl.wac import WordAccessCounter
+    from repro.memory.mglru import MultiGenLru
+    from repro.memory.migration import MigrationEngine
+    from repro.memory.tiers import NodeKind, TieredMemory
+
+    report = OracleReport(
+        "kernels",
+        "batched vs reference kernels: exact state equality per "
+        "structure",
+    )
+    rng = np.random.default_rng(seed)
+    num_pages = 1024
+    region = AddressRegion(0x1000_0000, num_pages * PAGE_SIZE)
+    pages = _zipf_keys(rng, accesses, num_pages)
+    words = rng.integers(0, 64, size=accesses).astype(np.uint64)
+    addresses = (
+        np.uint64(region.start)
+        + (pages << np.uint64(PAGE_SHIFT))
+        + (words << np.uint64(6))
+    )
+    chunks = [addresses[s:s + 8192] for s in range(0, accesses, 8192)]
+
+    # Trackers: every algorithm, page and word granularity.
+    for algorithm in ("cm-sketch", "space-saving", "misra-gries",
+                      "sticky-sampling", "exact"):
+        ref = make_hpt(k=32, algorithm=algorithm, num_counters=2048,
+                       batched=False)
+        fast = make_hpt(k=32, algorithm=algorithm, num_counters=2048,
+                        batched=True)
+        for chunk in chunks:
+            batch = AccessBatch(chunk, region=region)
+            ref.observe_batch(batch)
+            fast.observe_batch(batch)
+        top_ref = sorted(ref.peek())
+        top_fast = sorted(fast.peek())
+        report.add(f"tracker_{algorithm}_top_mismatches", 0,
+                   sum(x != y for x, y in zip(top_ref, top_fast))
+                   + abs(len(top_ref) - len(top_fast)))
+        report.add(f"tracker_{algorithm}_accesses", ref.accesses_observed,
+                   fast.accesses_observed)
+
+    # PAC direct mode: identical per-page counts (spill stats may
+    # legitimately differ — a chunked spill covers several
+    # saturations — so only counts are compared).
+    pac_ref = PageAccessCounter(region, batched=False)
+    pac_fast = PageAccessCounter(region, batched=True)
+    for chunk in chunks:
+        batch = AccessBatch(chunk, region=region)
+        pac_ref.observe(chunk)
+        pac_fast.observe_batch(batch)
+    report.add("pac_count_mismatches", 0,
+               int((pac_ref.counts() != pac_fast.counts()).sum()))
+
+    # WAC monitoring a quarter of the region (exercises the
+    # observe_batch window re-filter against the wider batch).
+    wac_ref = WordAccessCounter(region, window_bytes=region.size // 4,
+                                batched=False)
+    wac_fast = WordAccessCounter(region, window_bytes=region.size // 4,
+                                 batched=True)
+    for chunk in chunks:
+        batch = AccessBatch(chunk, region=region)
+        wac_ref.observe(chunk)
+        wac_fast.observe_batch(batch)
+    report.add("wac_count_mismatches", 0,
+               int((wac_ref.counts() != wac_fast.counts()).sum()))
+
+    # Tiers + MGLRU + migration: replay one randomized
+    # promote/demote/access schedule against both engines.
+    states = {}
+    for batched in (False, True):
+        memory = TieredMemory(ddr_pages=96, cxl_pages=num_pages + 64,
+                              num_logical_pages=num_pages, batched=batched)
+        memory.allocate_all(NodeKind.CXL)
+        mglru = MultiGenLru(num_pages, batched=batched)
+        engine = MigrationEngine(memory, mglru=mglru, batched=batched)
+        op_rng = np.random.default_rng(seed + 1)
+        for _ in range(60):
+            lot = op_rng.integers(0, num_pages, size=48)
+            mglru.record_accesses(lot[memory.node_map[lot] == 0])
+            engine.promote(op_rng.integers(0, num_pages, size=24))
+            if op_rng.random() < 0.3:
+                engine.demote(op_rng.integers(0, num_pages, size=8))
+            if op_rng.random() < 0.25:
+                mglru.age()
+        states[batched] = (
+            memory.frame_map.copy(), memory.node_map.copy(),
+            list(memory.ddr._free), list(memory.cxl._free),
+            mglru._gen.copy(), mglru._heat.copy(),
+            (engine.stats.promoted, engine.stats.demoted,
+             engine.stats.rejected, engine.stats.time_us),
+        )
+    ref_state, fast_state = states[False], states[True]
+    report.add("frame_map_mismatches", 0,
+               int((ref_state[0] != fast_state[0]).sum()))
+    report.add("node_map_mismatches", 0,
+               int((ref_state[1] != fast_state[1]).sum()))
+    report.add("free_list_mismatch", 0,
+               int(ref_state[2] != fast_state[2])
+               + int(ref_state[3] != fast_state[3]))
+    report.add("mglru_gen_mismatches", 0,
+               int((ref_state[4] != fast_state[4]).sum()))
+    report.add("mglru_heat_mismatches", 0,
+               int((ref_state[5] != fast_state[5]).sum()))
+    report.add("migration_stats_mismatch", 0,
+               int(ref_state[6] != fast_state[6]))
+    return report
+
+
 #: The registry the CLI and ``tools/run_differential.py`` iterate.
 ORACLES = {
     "sketch": sketch_oracle,
     "pac": pac_oracle,
     "migration": migration_oracle,
+    "engine": engine_oracle,
+    "kernels": kernels_oracle,
 }
 
 
 def run_all(
     names: Optional[List[str]] = None, **kwargs: Dict[str, Any]
 ) -> List[OracleReport]:
-    """Run the named oracle pairs (default: all three), in order."""
+    """Run the named oracle pairs (default: all of them), in order."""
     names = list(ORACLES) if not names else list(names)
     unknown = [n for n in names if n not in ORACLES]
     if unknown:

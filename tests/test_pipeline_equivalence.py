@@ -27,7 +27,7 @@ with open(GOLDENS_PATH) as fh:
     GOLDENS = json.load(fh)
 
 
-def golden_config(migrate: bool) -> SimConfig:
+def golden_config(migrate: bool, engine: str = "batched") -> SimConfig:
     """The exact configuration the goldens were captured under."""
     return SimConfig(
         total_accesses=120_000,
@@ -37,6 +37,7 @@ def golden_config(migrate: bool) -> SimConfig:
         checkpoints=3,
         pages_per_gb=1024,
         migrate=migrate,
+        engine=engine,
     )
 
 
@@ -55,16 +56,26 @@ def result_fields(result) -> dict:
 
 
 class TestPipelineEquivalence:
+    """Both hot-path engines must reproduce the frozen goldens: the
+    batched default because it is what runs, and the per-access
+    reference because it is the differential-oracle baseline."""
+
+    @pytest.mark.parametrize("engine", ["batched", "reference"])
     @pytest.mark.parametrize("policy", ALL_POLICIES)
-    def test_identification_mode_matches_seed_engine(self, policy):
+    def test_identification_mode_matches_seed_engine(self, policy, engine):
         golden = GOLDENS[f"{policy}|ident"]
-        result = run_policy(build("mcf", seed=0), policy, golden_config(False))
+        result = run_policy(
+            build("mcf", seed=0), policy, golden_config(False, engine)
+        )
         assert result_fields(result) == golden
 
+    @pytest.mark.parametrize("engine", ["batched", "reference"])
     @pytest.mark.parametrize("policy", ALL_POLICIES)
-    def test_migration_mode_matches_seed_engine(self, policy):
+    def test_migration_mode_matches_seed_engine(self, policy, engine):
         golden = GOLDENS[f"{policy}|mig"]
-        result = run_policy(build("mcf", seed=0), policy, golden_config(True))
+        result = run_policy(
+            build("mcf", seed=0), policy, golden_config(True, engine)
+        )
         assert result_fields(result) == golden
 
     def test_goldens_cover_every_policy(self):

@@ -63,6 +63,20 @@ class TestOraclePairs:
         report = migration_oracle()
         assert report.ok, report.format()
 
+    def test_engine_oracle_agrees(self):
+        from repro.verify import engine_oracle
+
+        report = engine_oracle(accesses=45_000, chunk=15_000)
+        assert report.ok, report.format()
+        # The bit-exact contract means zero tolerance on every row.
+        assert all(row.tolerance == 0.0 for row in report.rows)
+
+    def test_kernels_oracle_agrees(self):
+        from repro.verify import kernels_oracle
+
+        report = kernels_oracle(accesses=30_000)
+        assert report.ok, report.format()
+
     def test_run_all_rejects_unknown(self):
         with pytest.raises(ValueError):
             run_all(["sketch", "nope"])

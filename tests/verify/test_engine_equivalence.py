@@ -1,0 +1,244 @@
+"""Hypothesis equivalence suites: batched kernels ≡ reference loops.
+
+Every vectorized kernel of the epoch hot path keeps a per-access
+reference implementation (the ``engine="reference"`` path).  The
+batched twin promises *identical* end state — not statistically
+similar, identical — and these properties check that promise on
+randomly generated streams, including the shapes most likely to break
+a vectorization: empty chunks, all-duplicate chunks, streams that
+saturate hardware counters, and estimate ties that stress eviction
+order.
+
+``derandomize=True`` keeps CI deterministic: examples are derived
+from the property itself, not a random seed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spacesaving import MisraGries, SpaceSaving
+from repro.core.stickysampling import StickySampling
+from repro.core.topk import SortedCam
+from repro.core.trackers import make_hpt
+from repro.cxl.batch import AccessBatch
+from repro.cxl.pac import PageAccessCounter
+from repro.cxl.wac import WordAccessCounter
+from repro.memory.address import PAGE_SHIFT, PAGE_SIZE, AddressRegion
+from repro.memory.mglru import MultiGenLru
+from repro.memory.migration import MigrationEngine
+from repro.memory.tiers import NodeKind, TieredMemory
+
+SETTINGS = settings(max_examples=60, derandomize=True, deadline=None)
+
+# Narrow key spaces force duplicates and counter saturation; min_size=0
+# includes the empty chunk.
+streams = st.lists(st.integers(0, 40), min_size=0, max_size=300)
+chunked_streams = st.lists(streams, min_size=1, max_size=4)
+
+NUM_PAGES = 64
+REGION = AddressRegion(0x1000_0000, NUM_PAGES * PAGE_SIZE)
+
+
+def _addresses(keys):
+    pages = np.asarray(keys, dtype=np.uint64) % np.uint64(NUM_PAGES)
+    return np.uint64(REGION.start) + (pages << np.uint64(PAGE_SHIFT))
+
+
+class TestSortedCamOfferBatch:
+    """offer_batch ≡ a loop of offer() calls, including eviction ties."""
+
+    # Estimates drawn from a tiny range so ties (the argmin/eviction
+    # tie-break paths) occur constantly.
+    offers = st.lists(
+        st.tuples(st.integers(0, 60), st.integers(1, 5)),
+        min_size=0,
+        max_size=120,
+    )
+
+    @SETTINGS
+    @given(offers)
+    def test_matches_sequential(self, pairs):
+        # offer_batch's contract: unique keys, non-increasing estimates
+        # (what a tracker's sorted unique ingest produces).
+        best = {}
+        for key, est in pairs:
+            best[key] = max(est, best.get(key, 0))
+        items = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        seq, batch = SortedCam(8), SortedCam(8)
+        for key, est in items:
+            seq.offer(key, est)
+        if items:
+            keys = np.array([k for k, _ in items], dtype=np.int64)
+            ests = np.array([e for _, e in items], dtype=np.int64)
+        else:
+            keys = ests = np.empty(0, dtype=np.int64)
+        batch.offer_batch(keys, ests)
+        assert list(seq.entries()) == list(batch.entries())
+        assert (seq.offers, seq.hits, seq.insertions, seq.replacements,
+                seq.rejections) == (batch.offers, batch.hits,
+                                    batch.insertions, batch.replacements,
+                                    batch.rejections)
+
+
+class TestCountStructureBatches:
+    """update_batch ≡ update_batch_reference for the count summaries.
+
+    Dict *order* is asserted too — downstream tie-breaks (CAM argmin,
+    StickySampling's RNG-in-dict-order diminish) depend on it.
+    """
+
+    @SETTINGS
+    @given(chunked_streams)
+    def test_spacesaving(self, chunks):
+        ref, fast = SpaceSaving(8), SpaceSaving(8)
+        for chunk in chunks:
+            keys = np.asarray(chunk, dtype=np.uint64)
+            ref.update_batch_reference(keys)
+            fast.update_batch(keys)
+        assert list(ref._counts.items()) == list(fast._counts.items())
+        assert ref.items_seen == fast.items_seen
+        assert sorted(ref.top_k(8)) == sorted(fast.top_k(8))
+
+    @SETTINGS
+    @given(chunked_streams)
+    def test_misra_gries(self, chunks):
+        ref, fast = MisraGries(8), MisraGries(8)
+        for chunk in chunks:
+            keys = np.asarray(chunk, dtype=np.uint64)
+            ref.update_batch_reference(keys)
+            fast.update_batch(keys)
+        assert list(ref._counts.items()) == list(fast._counts.items())
+        assert ref.items_seen == fast.items_seen
+
+    @SETTINGS
+    @given(chunked_streams)
+    def test_sticky_sampling(self, chunks):
+        ref = StickySampling(support=0.1, error=0.05, failure_prob=0.1,
+                             seed=5)
+        fast = StickySampling(support=0.1, error=0.05, failure_prob=0.1,
+                              seed=5)
+        for chunk in chunks:
+            keys = np.asarray(chunk, dtype=np.uint64)
+            ref.update_batch_reference(keys)
+            fast.update_batch(keys)
+        assert list(ref._counts.items()) == list(fast._counts.items())
+        assert ref.items_seen == fast.items_seen
+        # The batched path must consume the sampling RNG at exactly the
+        # reference positions, or future admissions diverge.
+        assert (ref._rng.bit_generator.state
+                == fast._rng.bit_generator.state)
+
+
+class TestTrackerBatches:
+    """Full trackers: observe_batch on batched vs reference instances."""
+
+    @SETTINGS
+    @given(chunked_streams)
+    def test_all_algorithms(self, chunks):
+        for algorithm in ("cm-sketch", "space-saving", "misra-gries",
+                          "sticky-sampling", "exact"):
+            ref = make_hpt(k=6, algorithm=algorithm, num_counters=256,
+                           batched=False)
+            fast = make_hpt(k=6, algorithm=algorithm, num_counters=256,
+                            batched=True)
+            for chunk in chunks:
+                batch = AccessBatch(_addresses(chunk), region=REGION)
+                ref.observe_batch(batch)
+                fast.observe_batch(batch)
+            assert sorted(ref.peek()) == sorted(fast.peek())
+            assert ref.accesses_observed == fast.accesses_observed
+
+
+class TestSnoopCounterBatches:
+    """PAC/WAC chunked counter updates conserve per-line counts across
+    saturation (2-bit counters spill after 3 accesses)."""
+
+    @SETTINGS
+    @given(chunked_streams)
+    def test_pac_counts(self, chunks):
+        ref = PageAccessCounter(REGION, counter_bits=2, batched=False)
+        fast = PageAccessCounter(REGION, counter_bits=2, batched=True)
+        for chunk in chunks:
+            addresses = _addresses(chunk)
+            ref.observe(addresses)
+            fast.observe_batch(AccessBatch(addresses, region=REGION))
+        assert np.array_equal(ref.counts(), fast.counts())
+        assert ref.total_accesses == fast.total_accesses
+
+    @SETTINGS
+    @given(chunked_streams)
+    def test_wac_counts(self, chunks):
+        ref = WordAccessCounter(REGION, window_bytes=REGION.size // 2,
+                                counter_bits=2, batched=False)
+        fast = WordAccessCounter(REGION, window_bytes=REGION.size // 2,
+                                 counter_bits=2, batched=True)
+        for chunk in chunks:
+            addresses = _addresses(chunk)
+            ref.observe(addresses)
+            fast.observe_batch(AccessBatch(addresses, region=REGION))
+        assert np.array_equal(ref.counts(), fast.counts())
+        assert ref.total_accesses == fast.total_accesses
+
+
+def _tiered(batched):
+    memory = TieredMemory(ddr_pages=8, cxl_pages=NUM_PAGES + 4,
+                          num_logical_pages=NUM_PAGES, batched=batched)
+    memory.allocate_all(NodeKind.CXL)
+    return memory
+
+
+class TestMemoryBatches:
+    """Tiers, MGLRU, and bulk migration frame placement."""
+
+    @SETTINGS
+    @given(streams)
+    def test_mglru_record_accesses(self, keys):
+        pages = np.asarray(keys, dtype=np.int64) % NUM_PAGES
+        ref, fast = MultiGenLru(NUM_PAGES, batched=False), MultiGenLru(
+            NUM_PAGES, batched=True)
+        for lru in (ref, fast):
+            lru.track(np.arange(0, NUM_PAGES, 2))
+            lru.age()
+        ref.record_accesses(pages)
+        fast.record_accesses(pages)
+        assert np.array_equal(ref._gen, fast._gen)
+        assert np.array_equal(ref._heat, fast._heat)
+
+    @SETTINGS
+    @given(chunked_streams)
+    def test_promote_demote_state(self, chunks):
+        states = []
+        for batched in (False, True):
+            memory = _tiered(batched)
+            mglru = MultiGenLru(NUM_PAGES, batched=batched)
+            engine = MigrationEngine(memory, mglru=mglru, batched=batched)
+            for i, chunk in enumerate(chunks):
+                pages = np.asarray(chunk, dtype=np.int64) % NUM_PAGES
+                mglru.record_accesses(pages[memory.node_map[pages] == 0])
+                engine.promote(pages)
+                if i % 2:
+                    engine.demote(pages[: len(pages) // 2])
+                    mglru.age()
+            states.append((
+                memory.frame_map.tolist(), memory.node_map.tolist(),
+                list(memory.ddr._free), list(memory.cxl._free),
+                mglru._gen.tolist(), mglru._heat.tolist(),
+                engine.stats.promoted, engine.stats.demoted,
+            ))
+        assert states[0] == states[1]
+
+    @SETTINGS
+    @given(streams)
+    def test_translate_and_epoch_accounting(self, keys):
+        pages = np.asarray(keys, dtype=np.int64) % NUM_PAGES
+        addresses = (pages.astype(np.uint64) << np.uint64(PAGE_SHIFT)) | (
+            np.arange(pages.size, dtype=np.uint64) % np.uint64(PAGE_SIZE)
+        )
+        ref, fast = _tiered(False), _tiered(True)
+        assert np.array_equal(ref.translate(addresses),
+                              fast.translate(addresses))
+        ref.record_epoch_accesses(pages)
+        fast.record_epoch_accesses(pages)
+        assert (ref.ddr.accesses_total, ref.cxl.accesses_total) == (
+            fast.ddr.accesses_total, fast.cxl.accesses_total)

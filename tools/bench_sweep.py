@@ -14,12 +14,13 @@ from __future__ import annotations
 
 import argparse
 import functools
-import json
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_common import cpu_count, max_possible_speedup, write_record  # noqa: E402
 
 from repro.sim import SimConfig, run_matrix  # noqa: E402
 
@@ -59,26 +60,20 @@ def main() -> int:
     speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
     print(f"   speedup: {speedup:7.2f}x  (matrices identical: {identical})")
 
-    cpu_count = os.cpu_count() or 1
     record = {
         "benches": BENCHES,
         "policies": POLICIES,
         "cells": len(BENCHES) * (len(POLICIES) + 1),
         "accesses_per_cell": args.accesses,
         "jobs": args.jobs,
-        "cpu_count": cpu_count,
+        "cpu_count": cpu_count(),
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "speedup": round(speedup, 3),
-        # The parallelism ceiling is min(jobs, cores): a single-core
-        # host cannot show wall-clock speedup regardless of jobs.
-        "max_possible_speedup": min(args.jobs, cpu_count),
+        "max_possible_speedup": max_possible_speedup(args.jobs),
         "matrices_identical": identical,
     }
-    with open(args.output, "w") as fh:
-        json.dump(record, fh, indent=1)
-        fh.write("\n")
-    print(f"recorded to {os.path.abspath(args.output)}")
+    write_record(args.output, record)
     return 0 if identical else 1
 
 
