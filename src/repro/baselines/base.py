@@ -164,7 +164,10 @@ class MigrationPolicy(abc.ABC):
         self.page_table = (
             page_table
             if page_table is not None
-            else PageTable(memory.num_logical_pages)
+            else PageTable(
+                memory.num_logical_pages,
+                tenant=getattr(memory, "tenant", 0),
+            )
         )
         self.costs = PolicyCosts()
         #: Engine selector for the hot-page bookkeeping: vectorized

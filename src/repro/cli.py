@@ -12,6 +12,9 @@ Commands:
 * ``sweep`` — a benchmark × policy matrix, parallelised across
   worker processes with ``--jobs`` (``--metrics FILE`` collects every
   cell's metrics snapshot);
+* ``fleet`` — N tenants co-located on a shared 2- or 3-tier hierarchy
+  with QoS bandwidth arbitration and DRAM→CXL→pooled demotion chains,
+  tenants sharded across worker processes with ``--jobs``;
 * ``metrics`` — pretty-print one metrics snapshot, or diff two;
 * ``profile`` — PAC/WAC offline profile (page heat + word sparsity);
 * ``verify`` — the differential oracle pairs (exact vs batched sketch,
@@ -46,6 +49,7 @@ from repro.sim import (
     SimConfig,
     Simulation,
     TelemetryBus,
+    collect_fleet,
     collect_matrix,
     matrix_means,
     normalized,
@@ -295,6 +299,85 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    from repro.fleet import MAX_TENANTS, FleetConfig
+
+    benches = [b.strip() for b in args.bench.split(",") if b.strip()]
+    unknown_benches = [b for b in benches if b not in registry.names()]
+    if unknown_benches:
+        print(f"unknown benchmarks: {', '.join(unknown_benches)}")
+        return 2
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs})")
+        return 2
+    if args.tenants > MAX_TENANTS:
+        print(f"--tenants is capped at {MAX_TENANTS} by the per-tenant "
+              "physical-address windows")
+        return 2
+    try:
+        fleet = FleetConfig(
+            tenants=args.tenants,
+            tiers=args.tiers,
+            bench=args.bench,
+            policy=args.policy,
+            weights=args.weights,
+            qos=not args.no_qos,
+            pooled_capacity_gb=args.pooled_gb,
+            chain_headroom_frac=args.chain_headroom,
+            chain_pull_budget=args.chain_pull_budget,
+        )
+    except ValueError as exc:
+        print(f"bad fleet configuration: {exc}")
+        return 2
+    config = _config_from(args)
+    config.seed = args.seed
+    result = collect_fleet(
+        fleet, config, jobs=args.jobs,
+        with_metrics=bool(args.out) or bool(args.metrics),
+    )
+    tier_names = list(result.results[0].bandwidth_share)
+    rows = []
+    for t in result.results:
+        rows.append(
+            [t.tenant, t.bench, t.result.execution_time_s,
+             t.slowdown_vs_isolated, t.result.promoted, t.result.demoted,
+             t.chain.get("demoted_to_pooled", 0.0),
+             t.chain.get("pulled_from_pooled", 0.0)]
+            + [t.bandwidth_share[name] for name in tier_names]
+        )
+    print_table(
+        f"fleet: {result.tenants} tenants x {result.tiers} tiers, "
+        f"policy {result.policy}, qos={'on' if result.qos else 'off'}, "
+        f"{result.epochs} epochs",
+        ["tenant", "bench", "exec_s", "slowdn", "prom", "dem",
+         "dem_pool", "pull_up"] + [f"bw_{n}" for n in tier_names],
+        rows,
+        precision=3,
+    )
+    if getattr(args, "check_invariants", False):
+        checks = sum(
+            t.result.extra.get("invariant_checks", 0.0)
+            for t in result.results
+        )
+        violations = sum(
+            t.result.extra.get("invariant_violations", 0.0)
+            for t in result.results
+        )
+        print(f"invariants    : {checks:.0f} checks, "
+              f"{violations:.0f} violations")
+    if args.out:
+        payload = result.as_dict()
+        payload["metrics"] = result.metrics
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"fleet summary + per-tenant metrics written to {args.out}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(result.metrics, fh, indent=2)
+        print(f"fleet metrics snapshot written to {args.metrics}")
+    return 0
+
+
 def cmd_metrics(args) -> int:
     if len(args.files) > 2:
         print("metrics takes one file (show) or two (diff)")
@@ -399,6 +482,11 @@ def cmd_verify(args) -> int:
             "seed": args.seed,
         },
         "kernels": {"seed": args.seed},
+        "fleet": {
+            "bench": args.bench,
+            "policy": args.policy,
+            "seed": args.seed,
+        },
     }
     reports = run_all(names, **{n: overrides.get(n, {}) for n in names})
     failed = 0
@@ -536,6 +624,57 @@ def build_parser() -> argparse.ArgumentParser:
                             "one JSON file keyed bench -> policy")
     add_migration_args(sweep)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-tenant fleet on a shared 2- or 3-tier hierarchy "
+             "(QoS bandwidth arbitration + DRAM->CXL->pooled demotion "
+             "chains)",
+    )
+    fleet.add_argument("--tenants", type=int, default=3,
+                       help="co-located workloads sharing the hierarchy")
+    fleet.add_argument("--tiers", type=int, default=3, choices=(2, 3),
+                       help="tier depth: 2 (DDR+CXL) or 3 (+pooled CXL)")
+    fleet.add_argument("--bench", default="mcf",
+                       help="comma-separated benchmarks, assigned "
+                            "round-robin over tenants")
+    fleet.add_argument("--policy", default="m5-hpt", choices=ALL_POLICIES,
+                       help="page-migration policy every tenant runs")
+    fleet.add_argument("--weights", default="",
+                       help="comma-separated per-tenant QoS weights "
+                            "(empty = equal; cycled like --bench)")
+    fleet.add_argument("--no-qos", action="store_true",
+                       help="proportional bandwidth sharing instead of "
+                            "weighted max-min fairness")
+    fleet.add_argument("--pooled-gb", type=float, default=16.0,
+                       help="pooled-tier capacity in GB (3-tier fleets)")
+    fleet.add_argument("--chain-headroom", type=float, default=0.02,
+                       help="fraction of each tenant's CXL share the "
+                            "demotion chain keeps free")
+    fleet.add_argument("--chain-pull-budget", type=int, default=64,
+                       help="max pooled pages pulled back to CXL per "
+                            "tenant-epoch (0 disables pull-ups)")
+    fleet.add_argument("--accesses", type=int, default=1_000_000)
+    fleet.add_argument("--chunk", type=int, default=16_384)
+    fleet.add_argument("--subsample", type=float, default=64.0)
+    fleet.add_argument("--seed", type=int, default=1)
+    fleet.add_argument("--engine", default="batched",
+                       choices=("reference", "batched"),
+                       help="epoch hot-path implementation every tenant "
+                            "uses (bit-identical results)")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes to shard tenants across "
+                            "(bandwidth-coupled fleets run in lockstep "
+                            "regardless)")
+    fleet.add_argument("--check-invariants", action="store_true",
+                       help="run the per-epoch invariant catalogue in "
+                            "every tenant's pipeline")
+    fleet.add_argument("--out", default=None, metavar="FILE",
+                       help="write the fleet summary + per-tenant metric "
+                            "rows as JSON (the CI snapshot artifact)")
+    fleet.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write the fleet metrics-registry snapshot "
+                            "as JSON")
+
     metrics = sub.add_parser(
         "metrics", help="pretty-print one metrics snapshot, or diff two"
     )
@@ -559,7 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
              "PAC cache vs direct, instant vs async-unlimited migration)",
     )
     verify.add_argument("--oracles",
-                        default="sketch,pac,migration,engine,kernels",
+                        default="sketch,pac,migration,engine,kernels,fleet",
                         help="comma-separated oracle names to run")
     verify.add_argument("--bench", default="mcf",
                         help="benchmark for the migration oracle")
@@ -589,6 +728,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "fleet": cmd_fleet,
         "metrics": cmd_metrics,
         "profile": cmd_profile,
         "report": cmd_report,

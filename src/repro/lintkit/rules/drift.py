@@ -46,13 +46,13 @@ def _registry_rel(project: Project, name: str) -> str:
     return f"docs/registries/{name}"
 
 
-def simconfig_fields(ctx: FileContext) -> Dict[str, int]:
-    """SimConfig dataclass field names -> line numbers."""
+def dataclass_fields(ctx: FileContext, class_name: str) -> Dict[str, int]:
+    """``class_name`` dataclass field names -> line numbers."""
     fields: Dict[str, int] = {}
     if ctx.tree is None:
         return fields
     for node in ast.walk(ctx.tree):
-        if isinstance(node, ast.ClassDef) and node.name == "SimConfig":
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
             for stmt in node.body:
                 if (
                     isinstance(stmt, ast.AnnAssign)
@@ -61,6 +61,11 @@ def simconfig_fields(ctx: FileContext) -> Dict[str, int]:
                 ):
                     fields[stmt.target.id] = stmt.lineno
     return fields
+
+
+def simconfig_fields(ctx: FileContext) -> Dict[str, int]:
+    """SimConfig dataclass field names -> line numbers."""
+    return dataclass_fields(ctx, "SimConfig")
 
 
 def cli_flags(ctx: FileContext) -> Set[str]:
@@ -134,6 +139,13 @@ class ConfigCliDrift(Rule):
         "flag, or record an `exempt` reason there"
     )
 
+    #: Checked config dataclasses -> their registry section.  A class
+    #: absent from the tree is skipped (fixture trees predating it).
+    CONFIG_CLASSES = (
+        ("SimConfig", "fields"),
+        ("FleetConfig", "fleet_fields"),
+    )
+
     def check_project(self, project: Project) -> Iterable[Finding]:
         config = project.file_ending_with(_CONFIG_MODULE)
         cli = project.file_ending_with(_CLI_MODULE)
@@ -148,15 +160,31 @@ class ConfigCliDrift(Rule):
                 fix_hint="create it; see docs/static_analysis.md",
             )
             return
-        entries: Dict[str, dict] = registry.get("fields", {})
-        fields = simconfig_fields(config)
         flags = cli_flags(cli) if cli is not None else None
+        for class_name, section in self.CONFIG_CLASSES:
+            fields = dataclass_fields(config, class_name)
+            if not fields:
+                continue  # class absent from this tree: nothing to diff
+            yield from self._diff_class(
+                config, reg_rel, class_name,
+                registry.get(section, {}), fields, flags,
+            )
+
+    def _diff_class(
+        self,
+        config: FileContext,
+        reg_rel: str,
+        class_name: str,
+        entries: Dict[str, dict],
+        fields: Dict[str, int],
+        flags: Optional[Set[str]],
+    ) -> Iterable[Finding]:
         for name, line in fields.items():
             entry = entries.get(name)
             if entry is None:
                 yield self.finding(
                     config, line,
-                    f"SimConfig.{name} has no entry in {CONFIG_REGISTRY} "
+                    f"{class_name}.{name} has no entry in {CONFIG_REGISTRY} "
                     "(flag or exemption required)",
                 )
                 continue
@@ -171,7 +199,7 @@ class ConfigCliDrift(Rule):
             elif has_flag and flags is not None and entry["flag"] not in flags:
                 yield self.finding(
                     reg_rel, 1,
-                    f"registry maps SimConfig.{name} to `{entry['flag']}` "
+                    f"registry maps {class_name}.{name} to `{entry['flag']}` "
                     "but cli.py defines no such flag",
                     fix_hint="add the add_argument, or switch the entry to "
                     "an `exempt` reason",
@@ -180,7 +208,8 @@ class ConfigCliDrift(Rule):
             if name not in fields:
                 yield self.finding(
                     reg_rel, 1,
-                    f"registry lists `{name}` but SimConfig has no such field",
+                    f"registry lists `{name}` but {class_name} has no such "
+                    "field",
                     fix_hint="delete the stale registry entry",
                 )
 

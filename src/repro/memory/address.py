@@ -31,6 +31,11 @@ PA_BITS = 48
 #: Highest valid physical address (exclusive).
 PA_SPACE = 1 << PA_BITS
 
+#: Per-tenant window stride inside each tier's PA region (1TB): fleet
+#: tenant ``t`` owns ``[tier_base + t*stride, tier_base + (t+1)*stride)``
+#: of every tier, so frames of different tenants can never collide.
+TENANT_PA_STRIDE = 1 << 40
+
 
 def page_of(pa):
     """Return the PFN (``PA[47:12]``) for a byte address."""
@@ -146,6 +151,31 @@ class AddressRegion:
 
     def __hash__(self) -> int:
         return hash((self.start, self.size))
+
+
+def tenant_window(
+    tier_base: int,
+    tenant: int,
+    size: int,
+    stride: int = TENANT_PA_STRIDE,
+) -> AddressRegion:
+    """Tenant ``tenant``'s private PA window inside one tier.
+
+    Tier regions are carved into fixed-stride slots, one per tenant,
+    so the windows of any two tenants are disjoint by construction
+    (the tenant-isolation property the fleet's Hypothesis tests
+    assert).  Tenant 0's window starts exactly at ``tier_base``,
+    keeping single-tenant layouts bit-identical to the historical
+    two-node map.
+    """
+    if tenant < 0:
+        raise ValueError("tenant must be non-negative")
+    if size > stride:
+        raise ValueError(
+            f"tenant window of {size:#x} bytes exceeds the "
+            f"{stride:#x}-byte per-tenant stride"
+        )
+    return AddressRegion(tier_base + tenant * stride, size)
 
 
 def as_line_array(addresses) -> np.ndarray:

@@ -23,12 +23,22 @@ from repro.memory.tlb import Tlb
 
 
 class PageTable:
-    """Vectorised PTE array for one application."""
+    """Vectorised PTE array for one application.
 
-    def __init__(self, num_pages: int, tlb: Optional[Tlb] = None):
+    ``tenant`` tags the table with its owning fleet tenant (0 for
+    single-run simulations): each tenant has its own address space,
+    and the tag is what the isolation tests key ownership on.
+    """
+
+    def __init__(
+        self, num_pages: int, tlb: Optional[Tlb] = None, tenant: int = 0
+    ):
         if num_pages <= 0:
             raise ValueError("num_pages must be positive")
+        if tenant < 0:
+            raise ValueError("tenant must be non-negative")
         self.num_pages = int(num_pages)
+        self.tenant = int(tenant)
         self.present = np.ones(num_pages, dtype=bool)
         self.accessed = np.zeros(num_pages, dtype=bool)
         self.tlb = tlb if tlb is not None else Tlb(num_pages)

@@ -1,4 +1,4 @@
-"""Tiered-memory model: a fast DDR node plus a slow CXL node.
+"""Tiered-memory model: an ordered hierarchy of memory nodes.
 
 The model keeps the paper's NUMA framing: CXL device memory is exposed
 as a CPU-less remote NUMA node, and the application's pages live on
@@ -7,6 +7,15 @@ physical frames inside each node's physical-address region, so the
 CXL controller's profilers see real physical addresses and the
 migration engine can rebind pages between nodes.
 
+The default layout is the paper's two-node DDR + CXL pair, but the
+hierarchy is an ordered list of :class:`NodeSpec` entries (fastest
+first), so fleet simulations can add further tiers — e.g. a slow or
+pooled CXL node behind the direct-attached device — with derived base
+physical addresses and latencies.  Node ``i`` in the list carries the
+page-map code ``i`` (0 = DDR, 1 = CXL, 2+ = extra tiers), and all
+kind-based APIs resolve to the *first* node of that kind, keeping the
+two-node fast paths bit-identical to the historical layout.
+
 The node-level statistics published here (``nr_pages``, ``bw``,
 ``bw_den``) are precisely the Monitor functions of Table 1.
 """
@@ -14,7 +23,8 @@ The node-level statistics published here (``nr_pages``, ``bw``,
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,17 +36,78 @@ class NodeKind(enum.Enum):
 
     DDR = "ddr"
     CXL = "cxl"
+    #: A slower CXL device behind a switch (pooled/far memory) — the
+    #: third link of the fleet demotion chain (DRAM → CXL → pooled).
+    CXL_POOLED = "pooled"
 
 
 #: Default physical layout: DDR at 0, CXL device memory high in the PA
 #: space, mirroring how BIOS maps HDM ranges above local DRAM.
 DDR_BASE = 0x0000_0000_0000
 CXL_BASE = 0x2000_0000_0000 >> 1  # 16TB mark, well clear of DDR
+#: Pooled/far CXL memory mapped above the direct-attached HDM window.
+CXL_POOLED_BASE = 0x2000_0000_0000  # 32TB mark
 
 #: Load-to-use latencies used throughout the paper's arithmetic
 #: (§7.2 break-even: 54us / (270ns - 100ns) ≈ 318 accesses).
 DDR_LATENCY_NS = 100.0
 CXL_LATENCY_NS = 270.0
+#: Pooled CXL sits behind a switch: roughly one extra hop of latency
+#: (TPP/Pond-style far-memory figures land in the 400–700ns band).
+CXL_POOLED_LATENCY_NS = 600.0
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one memory node in an ordered hierarchy.
+
+    Attributes:
+        kind: tier family (drives defaults and kind-based lookups).
+        capacity_pages: frames this node provides.
+        latency_ns: load-to-use latency; ``None`` derives the kind's
+            default (100/270/600ns for DDR/CXL/pooled).
+        base_pa: base physical address of the node's frame region;
+            ``None`` derives the kind's default window (so a plain
+            DDR+CXL spec list reproduces the historical layout
+            bit-for-bit).
+        bandwidth_gbps: channel bandwidth for QoS arbitration
+            (0 = unlimited; only fleet contention reads this).
+        name: display label; defaults to ``kind.value``.
+    """
+
+    kind: NodeKind
+    capacity_pages: int
+    latency_ns: Optional[float] = None
+    base_pa: Optional[int] = None
+    bandwidth_gbps: float = 0.0
+    name: Optional[str] = None
+
+    _KIND_LATENCY = {
+        NodeKind.DDR: DDR_LATENCY_NS,
+        NodeKind.CXL: CXL_LATENCY_NS,
+        NodeKind.CXL_POOLED: CXL_POOLED_LATENCY_NS,
+    }
+    _KIND_BASE = {
+        NodeKind.DDR: DDR_BASE,
+        NodeKind.CXL: CXL_BASE,
+        NodeKind.CXL_POOLED: CXL_POOLED_BASE,
+    }
+
+    @property
+    def resolved_latency_ns(self) -> float:
+        if self.latency_ns is not None:
+            return float(self.latency_ns)
+        return self._KIND_LATENCY[self.kind]
+
+    @property
+    def resolved_base_pa(self) -> int:
+        if self.base_pa is not None:
+            return int(self.base_pa)
+        return self._KIND_BASE[self.kind]
+
+    @property
+    def resolved_name(self) -> str:
+        return self.name if self.name is not None else self.kind.value
 
 
 class MemoryNode:
@@ -48,10 +119,12 @@ class MemoryNode:
         capacity_pages: int,
         base_pa: int,
         latency_ns: float,
+        name: Optional[str] = None,
     ):
         if capacity_pages <= 0:
             raise ValueError("capacity_pages must be positive")
         self.kind = kind
+        self.name = name if name is not None else kind.value
         self.capacity_pages = int(capacity_pages)
         self.region = AddressRegion(base_pa, capacity_pages * PAGE_SIZE)
         self.latency_ns = float(latency_ns)
@@ -116,48 +189,108 @@ class MemoryNode:
 
 
 class TieredMemory:
-    """DDR + CXL tiered memory with logical-page → frame mapping.
+    """Ordered tiered memory with logical-page → frame mapping.
+
+    The default is the paper's two-node layout (DDR + CXL); passing
+    ``nodes`` builds an arbitrary ordered hierarchy (fastest first).
+    Node ``i`` owns page-map code ``i``; kind-based APIs resolve to
+    the first node of that kind, so DDR/CXL call sites keep working
+    unchanged on deeper hierarchies.
 
     Args:
         ddr_pages: capacity of the fast tier in pages (the paper caps
             this at ~half the footprint, e.g. 3GB DDR for ~6GB apps).
         cxl_pages: capacity of the slow tier in pages.
         num_logical_pages: the application's footprint in pages.
+        nodes: optional ordered :class:`NodeSpec` list replacing the
+            two-node default (``ddr_pages``/``cxl_pages``/latencies
+            are ignored when given).
     """
 
     def __init__(
         self,
-        ddr_pages: int,
-        cxl_pages: int,
-        num_logical_pages: int,
+        ddr_pages: int = 0,
+        cxl_pages: int = 0,
+        num_logical_pages: int = 0,
         ddr_latency_ns: float = DDR_LATENCY_NS,
         cxl_latency_ns: float = CXL_LATENCY_NS,
         batched: bool = True,
+        nodes: Optional[Sequence[NodeSpec]] = None,
+        tenant: int = 0,
     ):
         if num_logical_pages <= 0:
             raise ValueError("num_logical_pages must be positive")
-        if num_logical_pages > ddr_pages + cxl_pages:
+        if tenant < 0:
+            raise ValueError("tenant must be non-negative")
+        #: Owning fleet tenant (0 for single-run simulations).
+        self.tenant = int(tenant)
+        if nodes is None:
+            nodes = (
+                NodeSpec(NodeKind.DDR, ddr_pages, ddr_latency_ns),
+                NodeSpec(NodeKind.CXL, cxl_pages, cxl_latency_ns),
+            )
+        if len(nodes) < 2:
+            raise ValueError("a tier hierarchy needs at least two nodes")
+        total = sum(spec.capacity_pages for spec in nodes)
+        if num_logical_pages > total:
             raise ValueError("footprint exceeds total memory capacity")
-        self.ddr = MemoryNode(NodeKind.DDR, ddr_pages, DDR_BASE, ddr_latency_ns)
-        self.cxl = MemoryNode(NodeKind.CXL, cxl_pages, CXL_BASE, cxl_latency_ns)
+        self.node_specs: List[NodeSpec] = list(nodes)
+        self.nodes: List[MemoryNode] = [
+            MemoryNode(
+                spec.kind,
+                spec.capacity_pages,
+                spec.resolved_base_pa,
+                spec.resolved_latency_ns,
+                name=spec.resolved_name,
+            )
+            for spec in nodes
+        ]
+        regions = sorted(
+            (node.region.start, node.region.end) for node in self.nodes
+        )
+        for (_, prev_end), (start, _) in zip(regions, regions[1:]):
+            if start < prev_end:
+                raise ValueError("node physical-address regions overlap")
+        #: First node of each kind, for kind-based lookups.
+        self._kind_index: Dict[NodeKind, int] = {}
+        for i, node in enumerate(self.nodes):
+            self._kind_index.setdefault(node.kind, i)
+        self.ddr = self.nodes[0]
+        self.cxl = self.nodes[self._kind_index.get(NodeKind.CXL, 1)]
         self.num_logical_pages = int(num_logical_pages)
         #: Engine selector for the access path: vectorized translate /
         #: accounting kernels vs per-access reference loops.  Results
         #: are identical; only the cost differs.
         self.batched = bool(batched)
 
-        # page → absolute PFN and page → node kind (vectorised maps).
+        # page → absolute PFN and page → node code (vectorised maps).
         self._frame_of = np.full(num_logical_pages, -1, dtype=np.int64)
         self._node_of = np.full(num_logical_pages, -1, dtype=np.int8)
-        self._NODE_CODE = {NodeKind.DDR: 0, NodeKind.CXL: 1}
+        self._NODE_CODE = {
+            kind: idx for kind, idx in self._kind_index.items()
+        }
         # epoch time bookkeeping for bandwidth computation
         self.epoch_seconds: float = 1.0
 
     # ------------------------------------------------------------------
     # allocation / placement
 
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
     def node(self, kind: NodeKind) -> MemoryNode:
-        return self.ddr if kind is NodeKind.DDR else self.cxl
+        return self.nodes[self.node_index(kind)]
+
+    def node_index(self, kind: NodeKind) -> int:
+        """Page-map code of the first node of ``kind``."""
+        try:
+            return self._kind_index[kind]
+        except KeyError:
+            raise KeyError(f"no {kind.value} node in this hierarchy") from None
+
+    def node_at(self, index: int) -> MemoryNode:
+        return self.nodes[index]
 
     def allocate_all(self, kind: NodeKind = NodeKind.CXL) -> None:
         """Allocate every logical page on one node.
@@ -166,11 +299,36 @@ class TieredMemory:
         with all application pages cgroup-bound to CXL DRAM.
         """
         node = self.node(kind)
+        code = self.node_index(kind)
         for lpage in range(self.num_logical_pages):
             if self._frame_of[lpage] >= 0:
                 raise RuntimeError("pages already allocated")
             self._frame_of[lpage] = node.allocate_frame()
-            self._node_of[lpage] = self._NODE_CODE[kind]
+            self._node_of[lpage] = code
+
+    def allocate_spill(self, order: Optional[Sequence[int]] = None) -> None:
+        """Allocate every page on the first node in ``order`` with room.
+
+        The fleet's cgroup-style cold start: pages bind to the near
+        CXL tier and overflow down the hierarchy (CXL → pooled) once
+        it fills.  ``order`` defaults to every node below DRAM, in
+        hierarchy order.  When the first node fits the whole
+        footprint, this is frame-for-frame identical to
+        :meth:`allocate_all` on that node.
+        """
+        if order is None:
+            order = list(range(1, len(self.nodes)))
+        if not order:
+            raise ValueError("spill order must name at least one node")
+        slot = 0
+        for lpage in range(self.num_logical_pages):
+            if self._frame_of[lpage] >= 0:
+                raise RuntimeError("pages already allocated")
+            while self.nodes[order[slot]].free_pages == 0:
+                slot += 1  # total capacity checked in __init__
+            code = order[slot]
+            self._frame_of[lpage] = self.nodes[code].allocate_frame()
+            self._node_of[lpage] = code
 
     def allocate_interleaved(self, ddr_fraction: float, seed: int = 0) -> None:
         """Allocate pages randomly split between nodes (for the §5.2
@@ -195,10 +353,13 @@ class TieredMemory:
             self._node_of[lpage] = self._NODE_CODE[kind]
 
     def node_of_page(self, lpage: int) -> NodeKind:
-        code = self._node_of[lpage]
+        return self.nodes[self.node_code_of_page(lpage)].kind
+
+    def node_code_of_page(self, lpage: int) -> int:
+        code = int(self._node_of[lpage])
         if code < 0:
             raise KeyError(f"logical page {lpage} not allocated")
-        return NodeKind.DDR if code == 0 else NodeKind.CXL
+        return code
 
     def frame_of_page(self, lpage: int) -> int:
         pfn = self._frame_of[lpage]
@@ -213,12 +374,16 @@ class TieredMemory:
 
     @property
     def node_map(self) -> np.ndarray:
-        """Read-only view of page→node codes (0=DDR, 1=CXL, -1=free)."""
+        """Read-only view of page→node codes (node list index; -1=free)."""
         return self._node_of
 
     def pages_on(self, kind: NodeKind) -> np.ndarray:
         """Logical page ids currently resident on ``kind``."""
-        return np.nonzero(self._node_of == self._NODE_CODE[kind])[0]
+        return self.pages_on_node(self._NODE_CODE[kind])
+
+    def pages_on_node(self, index: int) -> np.ndarray:
+        """Logical page ids currently resident on node ``index``."""
+        return np.nonzero(self._node_of == index)[0]
 
     def logical_page_of_pfn(self, pfn: int) -> Optional[int]:
         """Reverse-map an absolute PFN to its logical page (or None)."""
@@ -242,11 +407,15 @@ class TieredMemory:
 
     def move_page(self, lpage: int, to: NodeKind) -> int:
         """Rebind a logical page to a frame on ``to``; returns new PFN."""
-        code = self._NODE_CODE[to]
+        return self.move_page_to(lpage, self._NODE_CODE[to])
+
+    def move_page_to(self, lpage: int, to_index: int) -> int:
+        """Rebind a logical page to a frame on node ``to_index``."""
+        code = int(to_index)
         if self._node_of[lpage] == code:
             return int(self._frame_of[lpage])
-        src = self.node(self.node_of_page(lpage))
-        dst = self.node(to)
+        src = self.nodes[self.node_code_of_page(lpage)]
+        dst = self.nodes[code]
         new_pfn = dst.allocate_frame()  # may raise MemoryError if full
         src.free_frame(int(self._frame_of[lpage]))
         self._frame_of[lpage] = new_pfn
@@ -254,31 +423,36 @@ class TieredMemory:
         return new_pfn
 
     def move_pages(self, lpages: np.ndarray, to: NodeKind) -> np.ndarray:
-        """Bulk :meth:`move_page`: rebind ``lpages`` to frames on ``to``.
+        """Bulk :meth:`move_page`; see :meth:`move_pages_to`."""
+        return self.move_pages_to(lpages, self._NODE_CODE[to])
 
-        Exactly equivalent to looping :meth:`move_page` over the array
-        — destination frames come off the LIFO free list in the same
-        order, and source frames are released in the same page order —
-        provided no page already resides on ``to`` (callers filter, as
-        the sequential loop's no-op branch would otherwise interleave
+    def move_pages_to(self, lpages: np.ndarray, to_index: int) -> np.ndarray:
+        """Bulk rebind of ``lpages`` to frames on node ``to_index``.
+
+        Exactly equivalent to looping :meth:`move_page_to` over the
+        array — destination frames come off the LIFO free list in the
+        same order, and source frames are released in the same page
+        order (per source node, in hierarchy order) — provided no page
+        already resides on the target (callers filter, as the
+        sequential loop's no-op branch would otherwise interleave
         differently).  Raises MemoryError before touching anything if
         the destination cannot hold the whole batch.
         """
         lpages = np.asarray(lpages, dtype=np.int64)
         if lpages.size == 0:
             return np.empty(0, dtype=np.int64)
-        code = self._NODE_CODE[to]
+        code = int(to_index)
         codes = self._node_of[lpages]
         if (codes < 0).any():
             raise KeyError("move of unallocated logical page")
         if (codes == code).any():
             raise ValueError("bulk move requires all pages off the target")
-        new_pfns = self.node(to).allocate_frames(lpages.size)
+        new_pfns = self.nodes[code].allocate_frames(lpages.size)
         old_pfns = self._frame_of[lpages]
-        for kind in (NodeKind.DDR, NodeKind.CXL):
-            mask = codes == self._NODE_CODE[kind]
+        for src_code, src in enumerate(self.nodes):
+            mask = codes == src_code
             if mask.any():
-                self.node(kind).free_frames(old_pfns[mask])
+                src.free_frames(old_pfns[mask])
         self._frame_of[lpages] = new_pfns
         self._node_of[lpages] = code
         return new_pfns
@@ -315,53 +489,66 @@ class TieredMemory:
             self._record_epoch_accesses_reference(logical_pages)
             return
         codes = self._node_of[np.asarray(logical_pages, dtype=np.int64)]
-        n_ddr = int((codes == 0).sum())
-        n_cxl = int((codes == 1).sum())
-        self.ddr.record_accesses(n_ddr)
-        self.cxl.record_accesses(n_cxl)
+        for idx, node in enumerate(self.nodes):
+            node.record_accesses(int((codes == idx).sum()))
 
     def _record_epoch_accesses_reference(self, logical_pages) -> None:
         """One node-counter increment per access — the reference engine."""
         for lpage in np.asarray(logical_pages, dtype=np.int64).tolist():
             code = self._node_of[lpage]
-            if code == 0:
-                self.ddr.record_accesses(1)
-            elif code == 1:
-                self.cxl.record_accesses(1)
+            if code >= 0:
+                self.nodes[code].record_accesses(1)
 
     def begin_epoch(self, epoch_seconds: float = 1.0) -> None:
         if epoch_seconds <= 0:
             raise ValueError("epoch_seconds must be positive")
         self.epoch_seconds = float(epoch_seconds)
-        self.ddr.begin_epoch()
-        self.cxl.begin_epoch()
+        for node in self.nodes:
+            node.begin_epoch()
 
     # ------------------------------------------------------------------
     # Monitor statistics (Table 1)
 
     def nr_pages(self, kind: NodeKind) -> int:
         """Table 1 ``nr_pages(node)``: pages allocated on the node."""
-        return int((self._node_of == self._NODE_CODE[kind]).sum())
+        return self.nr_pages_at(self._NODE_CODE[kind])
+
+    def nr_pages_at(self, index: int) -> int:
+        """``nr_pages`` for node ``index`` in the hierarchy."""
+        return int((self._node_of == index).sum())
 
     def bw(self, kind: NodeKind) -> float:
         """Table 1 ``bw(node)``: consumed read bandwidth, bytes/sec."""
-        node = self.node(kind)
+        return self.bw_at(self._NODE_CODE[kind])
+
+    def bw_at(self, index: int) -> float:
+        """``bw`` for node ``index`` in the hierarchy."""
+        node = self.nodes[index]
         return node.accesses_this_epoch * 64.0 / self.epoch_seconds
 
     def bw_den(self, kind: NodeKind) -> float:
         """Table 1 ``bw_den(node)``: bw per allocated capacity."""
-        pages = self.nr_pages(kind)
+        return self.bw_den_at(self._NODE_CODE[kind])
+
+    def bw_den_at(self, index: int) -> float:
+        """``bw_den`` for node ``index`` in the hierarchy."""
+        pages = self.nr_pages_at(index)
         if pages == 0:
             return 0.0
-        return self.bw(kind) / (pages * PAGE_SIZE)
+        return self.bw_at(index) / (pages * PAGE_SIZE)
 
     def stats(self) -> Dict[str, float]:
-        """Convenience snapshot of all Monitor statistics."""
-        return {
-            "nr_pages_ddr": self.nr_pages(NodeKind.DDR),
-            "nr_pages_cxl": self.nr_pages(NodeKind.CXL),
-            "bw_ddr": self.bw(NodeKind.DDR),
-            "bw_cxl": self.bw(NodeKind.CXL),
-            "bw_den_ddr": self.bw_den(NodeKind.DDR),
-            "bw_den_cxl": self.bw_den(NodeKind.CXL),
-        }
+        """Convenience snapshot of all Monitor statistics.
+
+        Keys are derived from node names, so the two-node default
+        keeps the historical ``*_ddr``/``*_cxl`` keys and deeper
+        hierarchies gain ``*_pooled`` (etc.) entries.
+        """
+        out: Dict[str, float] = {}
+        for i, node in enumerate(self.nodes):
+            out[f"nr_pages_{node.name}"] = self.nr_pages_at(i)
+        for i, node in enumerate(self.nodes):
+            out[f"bw_{node.name}"] = self.bw_at(i)
+        for i, node in enumerate(self.nodes):
+            out[f"bw_den_{node.name}"] = self.bw_den_at(i)
+        return out

@@ -2,7 +2,7 @@
 per-run driver tying workloads, tiers, the CXL controller, and the
 page-migration policies together."""
 
-from repro.sim.config import SimConfig
+from repro.sim.config import FleetConfig, SimConfig
 from repro.sim.engine import (
     ALL_POLICIES,
     BASELINE_POLICIES,
@@ -16,6 +16,7 @@ from repro.sim.engine import (
 from repro.sim.perf import EpochPerf, PerformanceModel
 from repro.sim.sweep import (
     cell_seed,
+    collect_fleet,
     collect_matrix,
     matrix_means,
     normalized,
@@ -31,6 +32,7 @@ from repro.sim.telemetry import (
 )
 
 __all__ = [
+    "FleetConfig",
     "SimConfig",
     "ALL_POLICIES",
     "BASELINE_POLICIES",
@@ -43,6 +45,7 @@ __all__ = [
     "EpochPerf",
     "PerformanceModel",
     "cell_seed",
+    "collect_fleet",
     "collect_matrix",
     "matrix_means",
     "normalized",

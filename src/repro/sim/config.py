@@ -3,8 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
-from repro.memory.tiers import CXL_LATENCY_NS, DDR_LATENCY_NS
+from repro.memory.tiers import (
+    CXL_LATENCY_NS,
+    CXL_POOLED_LATENCY_NS,
+    DDR_LATENCY_NS,
+)
 from repro.workloads.registry import (
     PAGES_PER_GB,
     cxl_capacity_pages,
@@ -172,3 +177,84 @@ class SimConfig:
     @property
     def num_epochs(self) -> int:
         return -(-self.total_accesses // self.chunk_size)
+
+
+@dataclass
+class FleetConfig:
+    """Knobs of one multi-tenant fleet run (see ``docs/fleet.md``).
+
+    A fleet runs ``tenants`` independent workloads in lockstep epochs
+    on a shared tier hierarchy: each tenant gets a weighted capacity
+    share of every tier (carved into a private physical-address
+    window), and the tiers' channel bandwidth is arbitrated each
+    epoch by the QoS model in :mod:`repro.sim.perf`.  Per-run engine
+    knobs (trace length, engine, seed, bandwidth ceilings, ...) stay
+    on :class:`SimConfig`; this object holds only the fleet shape.
+
+    Attributes:
+        tenants: number of co-located workloads.
+        tiers: tier hierarchy depth — 2 (DDR + CXL) or 3 (DDR + CXL +
+            pooled CXL behind a switch).
+        bench: comma-separated benchmark names, assigned round-robin
+            over tenants.
+        policy: page-migration policy every tenant runs.
+        weights: comma-separated per-tenant QoS weights (empty =
+            equal); cycled over tenants like ``bench``.
+        qos: True arbitrates bandwidth by weighted max-min fairness;
+            False degrades to proportional sharing (every tenant slows
+            by the same factor when the channel saturates).
+        pooled_capacity_gb: size of the shared pooled tier (3-tier
+            fleets only).
+        pooled_latency_ns: load-to-use latency of the pooled tier.
+        pooled_bandwidth_gbps: pooled channel ceiling (0 = unlimited).
+        chain_headroom_frac: fraction of each tenant's CXL share the
+            demotion chain keeps free by demoting cold pages to the
+            pooled tier (the DRAM→CXL→pooled chain's middle link).
+        chain_pull_budget: max pooled pages pulled back up to CXL per
+            tenant-epoch when they are re-accessed (0 disables
+            pull-ups).
+    """
+
+    tenants: int = 3
+    tiers: int = 3
+    bench: str = "mcf"
+    policy: str = "m5-hpt"
+    weights: str = ""
+    qos: bool = True
+    pooled_capacity_gb: float = 16.0
+    pooled_latency_ns: float = CXL_POOLED_LATENCY_NS
+    pooled_bandwidth_gbps: float = 0.0
+    chain_headroom_frac: float = 0.02
+    chain_pull_budget: int = 64
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1:
+            raise ValueError("a fleet needs at least one tenant")
+        if self.tiers not in (2, 3):
+            raise ValueError("tiers must be 2 (DDR+CXL) or 3 (+pooled)")
+        if not self.bench.strip():
+            raise ValueError("bench must name at least one benchmark")
+        if self.pooled_capacity_gb <= 0 and self.tiers == 3:
+            raise ValueError("pooled_capacity_gb must be positive")
+        if self.pooled_latency_ns <= 0:
+            raise ValueError("pooled_latency_ns must be positive")
+        if not 0.0 <= self.chain_headroom_frac < 1.0:
+            raise ValueError("chain_headroom_frac must be in [0, 1)")
+        if self.chain_pull_budget < 0:
+            raise ValueError("chain_pull_budget must be non-negative")
+        self.weight_list()  # validate eagerly
+
+    def bench_list(self) -> List[str]:
+        """Per-tenant benchmark names (round-robin over ``bench``)."""
+        names = [b.strip() for b in self.bench.split(",") if b.strip()]
+        return [names[t % len(names)] for t in range(self.tenants)]
+
+    def weight_list(self) -> List[float]:
+        """Per-tenant QoS weights (round-robin; empty = all 1.0)."""
+        raw = [w.strip() for w in self.weights.split(",") if w.strip()]
+        if not raw:
+            return [1.0] * self.tenants
+        vals = [float(w) for w in raw]
+        if any(v <= 0 for v in vals):
+            raise ValueError("tenant weights must be positive")
+        return [vals[t % len(vals)] for t in range(self.tenants)]

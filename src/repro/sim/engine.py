@@ -63,7 +63,7 @@ queue's behaviour).  Instant mode stays the default.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -96,7 +96,7 @@ from repro.cxl.wac import WordAccessCounter
 from repro.memory.address import PAGE_SHIFT
 from repro.memory.migration import MigrationCostModel, MigrationEngine
 from repro.memory.mglru import MultiGenLru
-from repro.memory.tiers import NodeKind, TieredMemory
+from repro.memory.tiers import NodeKind, NodeSpec, TieredMemory
 from repro.migration import AsyncMigrationConfig, AsyncMigrationEngine, TickReport
 from repro.obs import NULL_OBS, Observability, wall_clock
 from repro.sim.config import SimConfig
@@ -247,6 +247,12 @@ class Simulation:
             registry + stage tracer).  Omitted, the shared disabled
             instance is used: every instrument is a no-op and the
             pipeline is bit-identical to the uninstrumented engine.
+        nodes: optional ordered :class:`NodeSpec` hierarchy replacing
+            the config's two-node DDR/CXL layout (the fleet passes
+            per-tenant capacity shares here).  Pages cold-start by
+            spilling down the sub-DRAM tiers in order; a two-node
+            hierarchy whose CXL tier fits the footprint is
+            bit-identical to the default layout.
     """
 
     def __init__(
@@ -259,8 +265,12 @@ class Simulation:
         telemetry: Optional[TelemetryBus] = None,
         timeline_capacity: int = 4096,
         obs: Optional[Observability] = None,
+        nodes: Optional[Sequence[NodeSpec]] = None,
+        tenant: int = 0,
     ) -> None:
         self.workload = workload
+        #: Owning fleet tenant; 0 for plain single runs.
+        self.tenant = int(tenant)
         self.config = config if config is not None else SimConfig()
         if policy not in ALL_POLICIES:
             raise ValueError(f"unknown policy {policy!r}; known: {ALL_POLICIES}")
@@ -277,15 +287,25 @@ class Simulation:
         # construction; the reference engine is the differential-oracle
         # baseline and the bench_engine speedup denominator.
         batched = self.config.engine == "batched"
-        self.memory = TieredMemory(
-            ddr_pages=self.config.ddr_pages,
-            cxl_pages=max(self.config.cxl_pages, spec.footprint_pages),
-            num_logical_pages=spec.footprint_pages,
-            ddr_latency_ns=self.config.ddr_latency_ns,
-            cxl_latency_ns=self.config.cxl_latency_ns,
-            batched=batched,
-        )
-        self.memory.allocate_all(NodeKind.CXL)
+        if nodes is None:
+            self.memory = TieredMemory(
+                ddr_pages=self.config.ddr_pages,
+                cxl_pages=max(self.config.cxl_pages, spec.footprint_pages),
+                num_logical_pages=spec.footprint_pages,
+                ddr_latency_ns=self.config.ddr_latency_ns,
+                cxl_latency_ns=self.config.cxl_latency_ns,
+                batched=batched,
+                tenant=tenant,
+            )
+            self.memory.allocate_all(NodeKind.CXL)
+        else:
+            self.memory = TieredMemory(
+                num_logical_pages=spec.footprint_pages,
+                batched=batched,
+                nodes=nodes,
+                tenant=tenant,
+            )
+            self.memory.allocate_spill()
         self.mglru = MultiGenLru(spec.footprint_pages, batched=batched)
         self.engine = MigrationEngine(
             self.memory,
@@ -328,7 +348,13 @@ class Simulation:
             self._baseline = self._make_baseline(policy)
         else:
             self._manager = self._make_m5(policy)
-        self.perf = PerformanceModel(self.config, spec)
+        node_params = None
+        if nodes is not None:
+            node_params = [
+                (s.resolved_latency_ns, s.bandwidth_gbps)
+                for s in self.memory.node_specs
+            ]
+        self.perf = PerformanceModel(self.config, spec, node_params=node_params)
         #: The pipeline's stage sequence; each stage is a callable
         #: ``stage(policy, state)`` run once per epoch, in order.
         self.stages = (
@@ -369,8 +395,11 @@ class Simulation:
             "sim_accesses_total", "Demand accesses by serving tier",
             labels=("tier",),
         )
-        self._mx_acc_ddr = accesses.labels(tier="ddr")
-        self._mx_acc_cxl = accesses.labels(tier="cxl")
+        self._mx_acc = tuple(
+            accesses.labels(tier=node.name) for node in self.memory.nodes
+        )
+        self._mx_acc_ddr = self._mx_acc[0]
+        self._mx_acc_cxl = self._mx_acc[self.memory.node_index(NodeKind.CXL)]
         migrated = reg.counter(
             "sim_migrated_pages_total", "Pages moved by the migrate stage",
             labels=("direction",),
@@ -381,8 +410,11 @@ class Simulation:
             "tier_resident_pages", "Resident pages per tier at run end",
             labels=("tier",),
         )
-        self._mx_pages_ddr = tier_pages.labels(tier="ddr")
-        self._mx_pages_cxl = tier_pages.labels(tier="cxl")
+        self._mx_pages = tuple(
+            tier_pages.labels(tier=node.name) for node in self.memory.nodes
+        )
+        self._mx_pages_ddr = self._mx_pages[0]
+        self._mx_pages_cxl = self._mx_pages[self.memory.node_index(NodeKind.CXL)]
         self._m_sim_seconds = reg.gauge(
             "sim_time_seconds", "Simulated clock at run end"
         )
@@ -674,8 +706,15 @@ class Simulation:
         st.migration_us_prev = self.engine.stats.time_us
         n_ddr = self.memory.ddr.accesses_this_epoch
         n_cxl = self.memory.cxl.accesses_this_epoch
-        self._mx_acc_ddr.inc(n_ddr)
-        self._mx_acc_cxl.inc(n_cxl)
+        deep = self.memory.num_nodes > 2
+        if deep:
+            node_counts = [n.accesses_this_epoch for n in self.memory.nodes]
+            for mx, count in zip(self._mx_acc, node_counts):
+                mx.inc(count)
+        else:
+            node_counts = None
+            self._mx_acc_ddr.inc(n_ddr)
+            self._mx_acc_cxl.inc(n_cxl)
         st.perf = self.perf.record_epoch(
             n_ddr,
             n_cxl,
@@ -684,14 +723,12 @@ class Simulation:
             migration_bytes=(
                 float(st.tick.copy_bytes) if st.tick is not None else 0.0
             ),
+            node_counts=node_counts,
         )
         st.now_s += st.perf.total_s
         st.epoch_s_estimate = st.perf.total_s
         if self.telemetry.active:
-            self.telemetry.publish(
-                "epoch",
-                st.epoch,
-                st.now_s,
+            fields: Dict[str, float] = dict(
                 epoch_s=st.perf.total_s,
                 n_ddr=n_ddr,
                 n_cxl=n_cxl,
@@ -702,6 +739,13 @@ class Simulation:
                 overhead_us=st.decision.overhead_us,
                 migration_us=st.migration_us,
             )
+            if deep:
+                # Extra tiers ride along under name-derived keys; the
+                # two-node event shape stays frozen.
+                for i, node in enumerate(self.memory.nodes[2:], start=2):
+                    fields[f"n_{node.name}"] = node.accesses_this_epoch
+                    fields[f"nr_pages_{node.name}"] = self.memory.nr_pages_at(i)
+            self.telemetry.publish("epoch", st.epoch, st.now_s, **fields)
 
     def _stage_verify(self, policy: EpochPolicy, st: _EpochState) -> None:
         """Run the invariant catalogue against the finished epoch."""
@@ -719,13 +763,22 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        cfg = self.config
-        spec = self.workload.spec
         policy = self.epoch_policy
+        st = self._initial_state()
+        if self.obs.enabled:
+            self._run_instrumented(policy, st)
+        else:
+            while st.remaining > 0:
+                self.step_epoch(st, policy)
+        return self.finalize(st)
+
+    def _initial_state(self) -> _EpochState:
+        """Fresh run-scoped pipeline state (one per run)."""
+        cfg = self.config
         self._checkpoint_epochs = set(
             np.linspace(1, cfg.num_epochs, cfg.checkpoints, dtype=int).tolist()
         )
-        st = _EpochState(
+        return _EpochState(
             remaining=cfg.total_accesses,
             # Nominal epoch duration estimate for the first epoch;
             # later epochs use the previous epoch's measured duration.
@@ -736,16 +789,28 @@ class Simulation:
                 / self.perf.cores
             ),
         )
-        if self.obs.enabled:
-            self._run_instrumented(policy, st)
-        else:
-            while st.remaining > 0:
-                st.epoch += 1
-                for stage in self.stages:
-                    stage(policy, st)
 
-        self._mx_pages_ddr.set(self.memory.nr_pages(NodeKind.DDR))
-        self._mx_pages_cxl.set(self.memory.nr_pages(NodeKind.CXL))
+    def step_epoch(
+        self, st: _EpochState, policy: Optional[EpochPolicy] = None
+    ) -> None:
+        """Advance the pipeline by exactly one epoch.
+
+        The fleet drives tenants in lockstep through this entry point;
+        ``run`` is precisely ``step_epoch`` until the trace budget is
+        spent, then :meth:`finalize`.
+        """
+        if policy is None:
+            policy = self.epoch_policy
+        st.epoch += 1
+        for stage in self.stages:
+            stage(policy, st)
+
+    def finalize(self, st: _EpochState) -> RunResult:
+        """Assemble the RunResult after the epoch loop finishes."""
+        spec = self.workload.spec
+        policy = self.epoch_policy
+        for i, mx in enumerate(self._mx_pages):
+            mx.set(self.memory.nr_pages_at(i))
         self._m_sim_seconds.set(st.now_s)
         self._m_ring_dropped.set(self._timeline.dropped)
         self.result = RunResult(
@@ -768,6 +833,11 @@ class Simulation:
             timeline=self._timeline.events,
             timeline_dropped=self._timeline.dropped,
         )
+        if self.memory.num_nodes > 2:
+            for i, node in enumerate(self.memory.nodes[2:], start=2):
+                self.result.extra[f"nr_pages_{node.name}"] = float(
+                    self.memory.nr_pages_at(i)
+                )
         if self.async_engine is not None:
             self.result.extra.update(self.async_engine.stats.as_extra())
             self.result.extra["mig_pending"] = float(self.async_engine.pending)

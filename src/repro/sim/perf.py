@@ -25,7 +25,7 @@ policy's CPU utilisation share.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +38,110 @@ from repro.workloads.base import WorkloadSpec
 P99_GAIN = 6.0
 #: Memory accesses per Redis-style request (average over YCSB-A ops).
 ACCESSES_PER_REQUEST = 12
+
+
+# ----------------------------------------------------------------------
+# fleet bandwidth arbitration (noisy-neighbor model)
+#
+# When N tenants share a tier's channel, each epoch the arbiter turns
+# per-tenant demand (bytes/s the tenant would push uncontended) into a
+# bandwidth share, and the ratio demand/share becomes a >=1 stall
+# multiplier on that tenant's memory time for the node.  Two regimes:
+#
+# * QoS off — pure proportional sharing: s_i = C * d_i / sum(d).  Every
+#   tenant's factor collapses to max(1, sum(d)/C): a noisy neighbor
+#   slows everyone equally.
+# * QoS on — weighted max-min (water-filling): tenants demanding less
+#   than their weighted fair share are fully satisfied, and the
+#   surplus is redistributed by weight among the rest.  A light tenant
+#   is insulated from a heavy one.
+
+
+def proportional_shares(
+    demands: Sequence[float], capacity: float
+) -> List[float]:
+    """Split ``capacity`` across tenants proportionally to demand."""
+    total = 0.0
+    for d in demands:
+        total += float(d)
+    if total <= 0.0:
+        return [0.0 for _ in demands]
+    return [float(capacity) * float(d) / total for d in demands]
+
+
+def weighted_fair_shares(
+    demands: Sequence[float],
+    weights: Sequence[float],
+    capacity: float,
+) -> List[float]:
+    """Weighted max-min (water-filling) bandwidth allocation.
+
+    Repeatedly offers each unsatisfied tenant its weighted slice of
+    the remaining capacity; tenants whose residual demand fits are
+    capped at their demand and drop out, and the loop re-divides the
+    surplus until nothing changes.
+    """
+    n = len(demands)
+    if len(weights) != n:
+        raise ValueError("demands and weights must have equal length")
+    shares = [0.0] * n
+    remaining = float(capacity)
+    active = [i for i in range(n) if float(demands[i]) > 0.0]
+    while active and remaining > 0.0:
+        wsum = 0.0
+        for i in active:
+            wsum += max(0.0, float(weights[i]))
+        if wsum <= 0.0:
+            offers = {i: remaining / len(active) for i in active}
+        else:
+            offers = {
+                i: remaining * max(0.0, float(weights[i])) / wsum
+                for i in active
+            }
+        satisfied = [
+            i for i in active if float(demands[i]) - shares[i] <= offers[i]
+        ]
+        if not satisfied:
+            for i in active:
+                shares[i] += offers[i]
+            break
+        for i in satisfied:
+            remaining -= float(demands[i]) - shares[i]
+            shares[i] = float(demands[i])
+        remaining = max(0.0, remaining)
+        active = [i for i in active if i not in satisfied]
+    return shares
+
+
+def bandwidth_shares(
+    demands: Sequence[float],
+    weights: Sequence[float],
+    capacity: float,
+    qos: bool = True,
+) -> List[float]:
+    """Per-tenant bandwidth shares of one node's channel.
+
+    ``capacity <= 0`` models an unlimited channel: everyone receives
+    exactly their demand.  Otherwise QoS picks between weighted
+    max-min fairness and pure proportional sharing.
+    """
+    if float(capacity) <= 0.0:
+        return [float(d) for d in demands]
+    if not qos:
+        return proportional_shares(demands, capacity)
+    return weighted_fair_shares(demands, weights, capacity)
+
+
+def contention_factors(
+    demands: Sequence[float], shares: Sequence[float]
+) -> List[float]:
+    """Stall multipliers (>= 1) from demand vs granted share."""
+    out: List[float] = []
+    for d, s in zip(demands, shares):
+        d = float(d)
+        s = float(s)
+        out.append(d / s if (s > 0.0 and d > s) else 1.0)
+    return out
 
 
 @dataclass
@@ -57,7 +161,15 @@ class EpochPerf:
 class PerformanceModel:
     """Turns epoch access counts + overheads into time."""
 
-    def __init__(self, config: SimConfig, spec: WorkloadSpec) -> None:
+    def __init__(
+        self,
+        config: SimConfig,
+        spec: WorkloadSpec,
+        node_params: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> None:
+        """``node_params`` optionally replaces the two-node defaults:
+        one ``(latency_ns, bandwidth_gbps)`` pair per tier, fastest
+        first (the fleet passes the hierarchy's resolved specs)."""
         self.config = config
         self.spec = spec
         cycles_per_instr = 1.0 / config.ipc
@@ -65,8 +177,24 @@ class PerformanceModel:
         self.compute_per_access_s = (
             instrs_per_access * cycles_per_instr / (config.cpu_ghz * 1e9)
         )
-        self.ddr_stall_s = config.ddr_latency_ns * 1e-9 / config.mlp
-        self.cxl_stall_s = config.cxl_latency_ns * 1e-9 / config.mlp
+        if node_params is None:
+            node_params = (
+                (config.ddr_latency_ns, config.ddr_bandwidth_gbps),
+                (config.cxl_latency_ns, config.cxl_bandwidth_gbps),
+            )
+        #: Per-node (stall_s, bandwidth_gbps), fastest tier first.
+        self.node_stall_s: List[float] = [
+            lat * 1e-9 / config.mlp for lat, _ in node_params
+        ]
+        self.node_bw_gbps: List[float] = [bw for _, bw in node_params]
+        self.ddr_stall_s = self.node_stall_s[0]
+        self.cxl_stall_s = self.node_stall_s[1]
+        #: Per-node noisy-neighbor stall multipliers for the *next*
+        #: epoch, set by the fleet arbiter before the perf stage and
+        #: consumed (reset to None) by record_epoch.  None skips the
+        #: contention arithmetic entirely, keeping single-run results
+        #: bit-identical.
+        self.contention: Optional[List[float]] = None
         #: Each simulated access stands for `dilation` real ones (see
         #: SimConfig), so application time scales by dilation; each
         #: model page groups `footprint_scale` real pages, so moving
@@ -89,6 +217,11 @@ class PerformanceModel:
         self._app_s = 0.0
         self._overhead_s = 0.0
         self._migration_s = 0.0
+        # Shadow accumulator: what execution time would be with no
+        # bandwidth contention (contention factors forced to 1).  The
+        # per-tenant "slowdown vs isolated run" metric is
+        # execution_time_s / isolated_time_s without a second run.
+        self._isolated_s = 0.0
 
     def _node_memory_s(
         self,
@@ -130,11 +263,13 @@ class PerformanceModel:
         overhead_us: float,
         migration_us: float,
         migration_bytes: float = 0.0,
+        node_counts: Optional[Sequence[int]] = None,
     ) -> EpochPerf:
         """Convert one epoch's traffic and overheads into time.
 
         Args:
-            n_ddr / n_cxl: demand accesses served by each tier.
+            n_ddr / n_cxl: demand accesses served by each tier (the
+                two-node fast path).
             overhead_us: the policy's identification CPU cost.
             migration_us: kernel CPU time of migration (the flat
                 54 µs/page in instant mode; the remap share in async
@@ -143,25 +278,36 @@ class PerformanceModel:
                 model bytes.  Each copied page reads from one tier and
                 writes the other, so the bytes contend on both
                 channels; 0 (instant mode) leaves the model untouched.
+            node_counts: demand accesses per node for hierarchies
+                deeper than two tiers (overrides ``n_ddr``/``n_cxl``;
+                must match the ``node_params`` length).
         """
-        n = n_ddr + n_cxl
+        if node_counts is None:
+            node_counts = (n_ddr, n_cxl)
+        n = 0
+        for count in node_counts:
+            n += int(count)
         scale = self.dilation / self.cores
+        contention = self.contention
+        self.contention = None
+        memory_s = 0.0
+        isolated_memory_s = 0.0
+        for i, count in enumerate(node_counts):
+            node_s = self._node_memory_s(
+                int(count),
+                self.node_stall_s[i],
+                self.node_bw_gbps[i],
+                extra_bytes=migration_bytes,
+            )
+            if contention is None:
+                memory_s += node_s
+                isolated_memory_s = memory_s
+            else:
+                isolated_memory_s += node_s
+                memory_s += node_s * max(1.0, contention[i])
         perf = EpochPerf(
             compute_s=n * scale * self.compute_per_access_s,
-            memory_s=(
-                self._node_memory_s(
-                    n_ddr,
-                    self.ddr_stall_s,
-                    self.config.ddr_bandwidth_gbps,
-                    extra_bytes=migration_bytes,
-                )
-                + self._node_memory_s(
-                    n_cxl,
-                    self.cxl_stall_s,
-                    self.config.cxl_bandwidth_gbps,
-                    extra_bytes=migration_bytes,
-                )
-            ),
+            memory_s=memory_s,
             overhead_s=overhead_us * 1e-6,
             migration_s=migration_us
             * 1e-6
@@ -173,6 +319,9 @@ class PerformanceModel:
         self._app_s += perf.compute_s + perf.memory_s
         self._overhead_s += perf.overhead_s
         self._migration_s += perf.migration_s
+        self._isolated_s += (
+            perf.compute_s + isolated_memory_s + perf.overhead_s + perf.migration_s
+        )
         return perf
 
     # ------------------------------------------------------------------
@@ -194,6 +343,18 @@ class PerformanceModel:
     @property
     def migration_time_s(self) -> float:
         return self._migration_s
+
+    @property
+    def isolated_time_s(self) -> float:
+        """Execution time with all contention factors forced to 1 —
+        the tenant's wall-clock had it run the fleet alone."""
+        return self._isolated_s
+
+    def slowdown_vs_isolated(self) -> float:
+        """Noisy-neighbor slowdown: contended / uncontended time."""
+        if self._isolated_s <= 0.0:
+            return 1.0
+        return self._execution_s / self._isolated_s
 
     def overhead_utilisation(self) -> float:
         """Fraction of core time consumed by hot-page identification."""

@@ -23,24 +23,33 @@ from __future__ import annotations
 
 import zlib
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs import Observability
-from repro.sim.config import SimConfig
+from repro.sim.config import FleetConfig, SimConfig
 from repro.sim.engine import M5Options, RunResult, Simulation
 from repro.workloads import registry
 
+if TYPE_CHECKING:
+    from repro.fleet.sim import FleetResult, TenantShard
 
-def cell_seed(seed: int, bench: str) -> int:
-    """Deterministic per-benchmark seed for one matrix row.
+
+def cell_seed(seed: int, bench: str, tenant: int = 0) -> int:
+    """Deterministic per-benchmark (and per-tenant) seed.
 
     Derived from the matrix seed and the benchmark name only — every
     policy in a row (including the ``"none"`` baseline it is
     normalised against) sees the same workload trace, and the value
     is independent of execution order, so serial and parallel sweeps
     agree bit-for-bit.
+
+    Fleet cells also fold in the tenant id, so two tenants running
+    the same benchmark cannot collide onto one trace.  ``tenant=0``
+    hashes exactly the historical token, keeping every existing
+    single-run and sweep seed unchanged.
     """
-    return (int(seed) + zlib.crc32(bench.encode())) & 0x7FFFFFFF
+    token = bench if tenant == 0 else f"tenant{int(tenant)}/{bench}"
+    return (int(seed) + zlib.crc32(token.encode())) & 0x7FFFFFFF
 
 
 def run_one(
@@ -176,6 +185,59 @@ def run_matrix(
             policy: normalized(base, row_results[policy]) for policy in policies
         }
     return matrix
+
+
+#: One fleet tenant shard: (fleet, config, tenant, m5_options).
+_TenantCell = Tuple[FleetConfig, SimConfig, int, Optional[M5Options]]
+
+
+def _run_fleet_tenant(cell: _TenantCell) -> "TenantShard":
+    """Process-pool entry point for one fleet tenant shard."""
+    # Lazy import: repro.fleet imports this module for cell_seed, so a
+    # top-level import here would be a cycle.
+    from repro.fleet.sim import run_tenant_shard
+
+    fleet, config, tenant, m5_options = cell
+    return run_tenant_shard(fleet, config, tenant=tenant, m5_options=m5_options)
+
+
+def collect_fleet(
+    fleet: FleetConfig,
+    config: Optional[SimConfig] = None,
+    m5_options: Optional[M5Options] = None,
+    jobs: int = 1,
+    with_metrics: bool = False,
+) -> "FleetResult":
+    """Run one fleet, sharding tenants across worker processes.
+
+    The fleet twin of :func:`collect_matrix`'s ProcessPoolExecutor
+    path, with the unit of parallelism one *tenant* instead of one
+    matrix cell.  Tenants are only coupled through bandwidth
+    arbitration, so whenever the fleet is uncoupled (every channel
+    ceiling unlimited — the default latency-only model) each tenant
+    runs to completion in its own process and the arbiter is replayed
+    over the recorded demand traces afterwards — bit-identical to the
+    lockstep run for any ``jobs`` (a property the fleet test suite
+    pins).  Coupled fleets (any ceiling > 0, more than one tenant)
+    need every tenant's previous epoch each round, so they fall back
+    to the in-process lockstep :class:`~repro.fleet.FleetSimulation`
+    regardless of ``jobs``.
+    """
+    from repro.fleet.sim import assemble_fleet, is_coupled, run_fleet
+
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    config = config if config is not None else SimConfig()
+    if jobs == 1 or fleet.tenants == 1 or is_coupled(fleet, config):
+        return run_fleet(
+            fleet, config, m5_options=m5_options, with_metrics=with_metrics
+        )
+    cells: List[_TenantCell] = [
+        (fleet, config, tenant, m5_options) for tenant in range(fleet.tenants)
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        shards = list(pool.map(_run_fleet_tenant, cells))
+    return assemble_fleet(fleet, config, shards, with_metrics=with_metrics)
 
 
 def matrix_means(matrix: Dict[str, Dict[str, float]]) -> Dict[str, float]:

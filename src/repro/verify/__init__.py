@@ -11,7 +11,8 @@ Three layers guard the repro's trackers and migration paths (see
   (``repro verify`` / ``tools/run_differential.py``): exact vs batched
   sketch, PAC cache vs direct mode, instant vs async-unlimited
   migration, reference vs batched engine (full pipeline, bit-exact),
-  and per-kernel batched vs reference state, diffed with per-field
+  per-kernel batched vs reference state, and a 1-tenant, 2-tier fleet
+  vs the single-run engine (bit-exact), diffed with per-field
   tolerances.
 * ``tests/verify/`` — Hypothesis property suites encoding the paper's
   analytical guarantees (CM-Sketch never underestimates, Space-Saving
@@ -26,6 +27,7 @@ from repro.verify.differential import (
     OracleReport,
     diff_run_results,
     engine_oracle,
+    fleet_oracle,
     kernels_oracle,
     migration_oracle,
     pac_oracle,
@@ -51,6 +53,7 @@ __all__ = [
     "pac_oracle",
     "migration_oracle",
     "engine_oracle",
+    "fleet_oracle",
     "kernels_oracle",
     "run_all",
 ]

@@ -7,7 +7,7 @@ path the pipeline actually runs, and the two must agree — exactly
 where the docstrings promise identical state, within a tolerance where
 only the aggregate behaviour is guaranteed.
 
-Five oracle pairs (``repro verify`` / ``tools/run_differential.py``):
+Six oracle pairs (``repro verify`` / ``tools/run_differential.py``):
 
 * ``sketch`` — :class:`~repro.core.trackers.CmSketchTopK` with
   ``exact_sequence=True`` (per-access hardware semantics) vs the
@@ -36,6 +36,11 @@ Five oracle pairs (``repro verify`` / ``tools/run_differential.py``):
   PAC/WAC observe, MGLRU generation updates, address translation,
   and bulk promote/demote frame placement.  All state comparisons
   are exact (mismatch counts with zero tolerance).
+* ``fleet`` — a 1-tenant, 2-tier :class:`~repro.fleet.FleetSimulation`
+  vs the plain single-run :class:`~repro.sim.engine.Simulation` under
+  both epoch engines.  Zero tolerance everywhere, down to the frame
+  and node maps: the fleet path (NodeSpec tiers, tenant windows,
+  lockstep driver) must degenerate exactly to the single-run engine.
 
 Every comparison is a :class:`DiffRow` with a per-field tolerance
 (0 = bit-exact required), collected into an :class:`OracleReport`.
@@ -490,6 +495,92 @@ def kernels_oracle(seed: int = 0, accesses: int = 60_000) -> OracleReport:
     return report
 
 
+# ----------------------------------------------------------------------
+# oracle 6: 1-tenant fleet vs single-run engine (bit-exact)
+
+
+def fleet_oracle(
+    bench: str = "mcf",
+    policy: str = "m5-hpt",
+    seed: int = 1,
+    accesses: int = 200_000,
+    chunk: int = 16_384,
+) -> OracleReport:
+    """A 1-tenant, 2-tier fleet vs the single-run engine, zero
+    tolerance, under both epoch engines.
+
+    The fleet path rebuilds the whole stack — NodeSpec-driven tiers,
+    per-tenant address windows, spill allocation, the lockstep driver
+    — so this oracle pins its core contract: with one tenant and two
+    tiers, every field of the run (including the frame and node maps)
+    must match the plain :class:`Simulation` bit for bit, and the
+    fleet-level accounting must be the no-interference identity
+    (slowdown 1.0, full bandwidth share).
+    """
+    from repro.fleet import FleetConfig, FleetSimulation
+    from repro.sim.sweep import cell_seed
+
+    report = OracleReport(
+        "fleet",
+        f"{bench}/{policy}: 1-tenant 2-tier fleet vs single-run engine "
+        "(bit-exact, both epoch engines)",
+    )
+    fleet = FleetConfig(tenants=1, tiers=2, bench=bench, policy=policy)
+    for engine in ("reference", "batched"):
+        cfg = SimConfig(
+            total_accesses=accesses,
+            chunk_size=chunk,
+            checkpoints=2,
+            seed=seed,
+            engine=engine,
+        )
+        fleet_sim = FleetSimulation(fleet, cfg)
+        tenant = fleet_sim.run().results[0]
+        single_sim = Simulation(
+            registry.build(bench, seed=cell_seed(seed, bench)),
+            cfg,
+            policy=policy,
+        )
+        single = single_sim.run()
+        for row in diff_run_results(single, tenant.result, tolerances={}):
+            report.rows.append(DiffRow(f"{engine}_{row.field}", row.a, row.b))
+        report.add(f"{engine}_overhead_time_s", single.overhead_time_s,
+                   tenant.result.overhead_time_s)
+        report.add(f"{engine}_migration_time_s", single.migration_time_s,
+                   tenant.result.migration_time_s)
+        report.add(
+            f"{engine}_hot_pfn_mismatches",
+            0,
+            sum(x != y for x, y in
+                zip(single.hot_pfns, tenant.result.hot_pfns))
+            + abs(len(single.hot_pfns) - len(tenant.result.hot_pfns)),
+        )
+        report.add(
+            f"{engine}_ratio_checkpoint_mismatches",
+            0,
+            sum(x != y for x, y in
+                zip(single.ratio_checkpoints,
+                    tenant.result.ratio_checkpoints)),
+        )
+        tenant_mem = fleet_sim.sims[0].memory
+        single_mem = single_sim.memory
+        report.add(
+            f"{engine}_frame_map_mismatches", 0,
+            int((tenant_mem.frame_map != single_mem.frame_map).sum()),
+        )
+        report.add(
+            f"{engine}_node_map_mismatches", 0,
+            int((tenant_mem.node_map != single_mem.node_map).sum()),
+        )
+        report.add(f"{engine}_slowdown_vs_isolated", 1.0,
+                   tenant.slowdown_vs_isolated)
+        report.add(
+            f"{engine}_bandwidth_share_min", 1.0,
+            min(tenant.bandwidth_share.values()),
+        )
+    return report
+
+
 #: The registry the CLI and ``tools/run_differential.py`` iterate.
 ORACLES = {
     "sketch": sketch_oracle,
@@ -497,6 +588,7 @@ ORACLES = {
     "migration": migration_oracle,
     "engine": engine_oracle,
     "kernels": kernels_oracle,
+    "fleet": fleet_oracle,
 }
 
 

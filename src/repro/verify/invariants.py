@@ -50,7 +50,6 @@ import numpy as np
 
 from repro.core.spacesaving import SpaceSaving
 from repro.core.topk import SortedCam
-from repro.memory.tiers import NodeKind
 
 if TYPE_CHECKING:
     from repro.migration.request import TickReport
@@ -162,24 +161,27 @@ class InvariantChecker:
             "tier_conservation", epoch, unmapped == 0,
             f"{unmapped} logical pages are on no tier",
         )
-        n_ddr = mem.nr_pages(NodeKind.DDR)
-        n_cxl = mem.nr_pages(NodeKind.CXL)
+        # N-tier conservation: iterate the node list, not DDR/CXL —
+        # fleet hierarchies add a pooled node behind the CXL tier.
+        counts = [mem.nr_pages_at(i) for i in range(mem.num_nodes)]
         self._check(
             "tier_conservation", epoch,
-            n_ddr + n_cxl == mem.num_logical_pages,
-            f"tiers hold {n_ddr}+{n_cxl} pages, footprint is "
-            f"{mem.num_logical_pages}",
+            sum(counts) == mem.num_logical_pages,
+            f"tiers hold {'+'.join(str(c) for c in counts)} pages, "
+            f"footprint is {mem.num_logical_pages}",
         )
+        for node, count in zip(mem.nodes, counts):
+            self._check(
+                "tier_conservation", epoch,
+                count <= node.capacity_pages,
+                f"node {node.name} holds {count} pages over its "
+                f"{node.capacity_pages}-page capacity",
+            )
+        used = [node.used_pages for node in mem.nodes]
         self._check(
-            "tier_conservation", epoch, n_ddr <= mem.ddr.capacity_pages,
-            f"fast tier holds {n_ddr} pages over its "
-            f"{mem.ddr.capacity_pages}-page capacity",
-        )
-        self._check(
-            "tier_conservation", epoch,
-            n_ddr == mem.ddr.used_pages and n_cxl == mem.cxl.used_pages,
-            f"page map says {n_ddr}/{n_cxl} per tier, frame allocators "
-            f"say {mem.ddr.used_pages}/{mem.cxl.used_pages}",
+            "tier_conservation", epoch, counts == used,
+            f"page map says {counts} per tier, frame allocators "
+            f"say {used}",
         )
         dupes = frames.size - int(np.unique(frames).size)
         self._check(

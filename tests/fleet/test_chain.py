@@ -1,0 +1,85 @@
+"""DemotionChain unit tests: headroom demotions and pull-ups."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import DemotionChain
+from repro.memory.mglru import MultiGenLru
+from repro.memory.migration import MigrationEngine
+from repro.memory.tiers import NodeKind, NodeSpec, TieredMemory
+
+
+def make_chain(headroom_frac=0.25, pull_budget=2, logical=20):
+    """8 DDR + 16 CXL + 64 pooled frames; 20 logical pages spill to
+    16 on CXL and 4 on pooled."""
+    nodes = [
+        NodeSpec(NodeKind.DDR, 8),
+        NodeSpec(NodeKind.CXL, 16),
+        NodeSpec(NodeKind.CXL_POOLED, 64),
+    ]
+    mem = TieredMemory(num_logical_pages=logical, nodes=nodes)
+    mem.allocate_spill()
+    engine = MigrationEngine(mem, mglru=MultiGenLru(logical))
+    chain = DemotionChain(
+        mem, engine, headroom_frac=headroom_frac, pull_budget=pull_budget
+    )
+    return mem, engine, chain
+
+
+def test_requires_pooled_tier(tiered):
+    engine = MigrationEngine(tiered, mglru=MultiGenLru(32))
+    with pytest.raises(ValueError):
+        DemotionChain(tiered, engine)
+
+
+def test_headroom_demotes_coldest_cxl_pages():
+    mem, _, chain = make_chain()
+    pooled = mem.node_index(NodeKind.CXL_POOLED)
+    # Warm pages 0..7; pages 8..15 keep their epoch-0 stamp.
+    moved = chain.run_epoch(1, np.arange(0, 8))
+    assert moved == 4  # headroom = 25% of 16 CXL frames
+    assert chain.stats.demoted_to_pooled == 4
+    # The four coldest (oldest stamp, lowest id) sank to pooled.
+    assert list(np.nonzero(mem.node_map == pooled)[0][:4]) == [8, 9, 10, 11]
+    assert mem.nodes[mem.node_index(NodeKind.CXL)].free_pages == 4
+
+
+def test_pull_ups_hottest_first_within_budget():
+    mem, _, chain = make_chain()
+    cxl = mem.node_index(NodeKind.CXL)
+    pooled = mem.node_index(NodeKind.CXL_POOLED)
+    chain.run_epoch(1, np.arange(0, 8))  # open CXL headroom
+    # Pooled pages 16 (x3), 17 (x2), 18 (x1) are re-accessed; the
+    # budget admits only the two hottest.
+    hits = np.array([16, 16, 16, 17, 17, 18])
+    chain.run_epoch(2, hits)
+    assert chain.stats.pulled_from_pooled == 2
+    assert mem.node_map[16] == cxl
+    assert mem.node_map[17] == cxl
+    assert mem.node_map[18] == pooled
+
+
+def test_zero_pull_budget_disables_pull_ups():
+    mem, _, chain = make_chain(pull_budget=0)
+    pooled = mem.node_index(NodeKind.CXL_POOLED)
+    chain.run_epoch(1, np.array([16, 17, 18, 19]))
+    assert chain.stats.pulled_from_pooled == 0
+    assert all(mem.node_map[p] == pooled for p in (16, 17, 18, 19))
+
+
+def test_chain_time_charged_to_migration_engine():
+    _, engine, chain = make_chain()
+    moved = chain.run_epoch(1, np.arange(0, 8))
+    assert moved > 0
+    assert chain.stats.time_us == pytest.approx(
+        engine.cost_model.cost_us(moved)
+    )
+    assert engine.stats.time_us == pytest.approx(chain.stats.time_us)
+
+
+def test_zero_headroom_chain_is_quiet():
+    mem, _, chain = make_chain(headroom_frac=0.0)
+    moved = chain.run_epoch(1, np.arange(0, 8))
+    assert moved == 0
+    assert chain.stats.demoted_to_pooled == 0
+    assert mem.nodes[mem.node_index(NodeKind.CXL)].free_pages == 0

@@ -1,0 +1,159 @@
+"""Fleet end-to-end contracts: golden single-run equivalence, sharded
+== lockstep, tenant isolation, and the noisy-neighbor model."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetConfig, FleetSimulation, run_fleet, run_tenant_shard
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulation
+from repro.sim.sweep import cell_seed, collect_fleet
+from repro.verify.differential import diff_run_results, fleet_oracle
+from repro.workloads import registry
+
+ACCESSES = 60_000
+CHUNK = 15_000
+
+
+def small_config(**overrides):
+    base = dict(total_accesses=ACCESSES, chunk_size=CHUNK, seed=1)
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# golden: 1-tenant / 2-tier fleet == single-run engine, bit for bit
+
+
+@pytest.mark.parametrize("engine", ["reference", "batched"])
+def test_one_tenant_two_tier_fleet_matches_single_run(engine):
+    config = small_config(engine=engine)
+    fleet_sim = FleetSimulation(
+        FleetConfig(tenants=1, tiers=2, bench="mcf"), config
+    )
+    fleet_result = fleet_sim.run()
+
+    workload = registry.build("mcf", seed=cell_seed(config.seed, "mcf"))
+    single_sim = Simulation(workload, small_config(engine=engine),
+                            policy="m5-hpt")
+    single = single_sim.run()
+
+    tenant = fleet_result.results[0]
+    rows = diff_run_results(tenant.result, single, tolerances={})
+    assert all(r.ok for r in rows), [r.field for r in rows if not r.ok]
+    assert tenant.result.execution_time_s == single.execution_time_s
+    assert tenant.result.migration_time_s == single.migration_time_s
+    # Same frames in the same places: the fleet topology with one
+    # tenant reproduces the historic address layout exactly.
+    assert np.array_equal(
+        fleet_sim.sims[0].memory.frame_map, single_sim.memory.frame_map
+    )
+    assert np.array_equal(
+        fleet_sim.sims[0].memory.node_map, single_sim.memory.node_map
+    )
+    # And the fleet accounting is the no-interference identity.
+    assert tenant.slowdown_vs_isolated == 1.0
+    assert all(v == 1.0 for v in tenant.bandwidth_share.values())
+
+
+def test_fleet_oracle_is_green():
+    report = fleet_oracle(accesses=ACCESSES, chunk=CHUNK)
+    assert report.ok, report.format()
+
+
+# ----------------------------------------------------------------------
+# sharded == lockstep
+
+
+def test_sharded_fleet_matches_lockstep():
+    fleet = FleetConfig(
+        tenants=3, tiers=3, bench="mcf,roms", weights="2,1,1"
+    )
+    config = small_config()
+    lockstep = run_fleet(fleet, config)
+    sharded = collect_fleet(fleet, config, jobs=3)
+    assert sharded.epochs == lockstep.epochs
+    assert sharded.tenant_metrics() == lockstep.tenant_metrics()
+
+
+def test_jobs_one_and_coupled_fleets_run_lockstep():
+    # A bandwidth-coupled fleet cannot shard; collect_fleet must fall
+    # back to lockstep and still agree with run_fleet.
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf")
+    config = small_config(cxl_bandwidth_gbps=1.0)
+    direct = run_fleet(fleet, config)
+    via_sweep = collect_fleet(fleet, config, jobs=4)
+    assert via_sweep.tenant_metrics() == direct.tenant_metrics()
+    with pytest.raises(ValueError):
+        run_tenant_shard(fleet, config, tenant=0)
+    with pytest.raises(ValueError):
+        collect_fleet(fleet, config, jobs=0)
+
+
+# ----------------------------------------------------------------------
+# tenant isolation
+
+
+def test_tenant_seeds_derive_per_tenant_and_keep_single_run_seed():
+    fleet_sim = FleetSimulation(
+        FleetConfig(tenants=3, tiers=2, bench="mcf"), small_config()
+    )
+    seeds = fleet_sim.tenant_seeds
+    assert len(set(seeds)) == 3
+    # Tenant 0 reuses the single-run derivation, so existing sweep
+    # seeds are unchanged by the fleet feature.
+    assert seeds[0] == cell_seed(1, "mcf")
+    assert seeds[1] == cell_seed(1, "mcf", tenant=1)
+
+
+def test_no_frame_mapped_by_two_tenants():
+    fleet_sim = FleetSimulation(
+        FleetConfig(tenants=3, tiers=3, bench="mcf,roms"), small_config()
+    )
+    fleet_sim.run()
+    # frame_map holds absolute PFNs (node base embedded), so
+    # cross-tenant disjointness is a global-uniqueness check.
+    frames = np.concatenate(
+        [sim.memory.frame_map for sim in fleet_sim.sims]
+    )
+    assert len(np.unique(frames)) == len(frames)
+
+
+# ----------------------------------------------------------------------
+# 3-tier fleet behaviour
+
+
+def test_three_tier_fleet_passes_invariants_with_chain_traffic():
+    fleet = FleetConfig(tenants=3, tiers=3, bench="mcf")
+    config = small_config(
+        total_accesses=120_000, check_invariants=True
+    )
+    result = run_fleet(fleet, config)
+    chain_moves = 0.0
+    for t in result.results:
+        assert t.result.extra.get("invariant_checks", 0.0) > 0
+        assert t.result.extra.get("invariant_violations", 0.0) == 0
+        chain_moves += t.chain["demoted_to_pooled"]
+        chain_moves += t.chain["pulled_from_pooled"]
+    assert chain_moves > 0, "demotion chain never fired"
+
+
+def test_noisy_neighbor_slows_tenants_down():
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf")
+    contended = run_fleet(fleet, small_config(cxl_bandwidth_gbps=0.5))
+    assert any(
+        t.slowdown_vs_isolated > 1.0 for t in contended.results
+    ), "tight channel ceiling produced no interference"
+    for t in contended.results:
+        assert t.result.execution_time_s > 0.0
+        assert t.slowdown_vs_isolated >= 1.0
+
+
+def test_fleet_metrics_snapshot_has_tenant_labels():
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf")
+    result = run_fleet(fleet, small_config(), with_metrics=True)
+    assert result.metrics, "with_metrics=True produced no snapshot"
+    families = {m["name"] for m in result.metrics["metrics"]}
+    assert "fleet_tenant_slowdown" in families
+    assert "fleet_tenant_bandwidth_share" in families
+    assert "fleet_tenant_migrated_pages_total" in families

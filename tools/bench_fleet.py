@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Micro-harness: fleet throughput vs tenant count.
+
+Runs the same per-tenant trace at 1, 2, 4, and 8 tenants (3 tiers,
+mixed benchmarks, uncoupled channels so the sweep layer can shard
+tenants across worker processes) and records wall time and
+accesses/sec per tenant count to ``BENCH_fleet.json`` at the repo
+root.
+
+The gate: per-tenant throughput must degrade *sublinearly* in tenant
+count — an N-tenant fleet must finish in less than N times the
+1-tenant wall clock (process sharding should absorb most of the extra
+work).  Hosts without spare cores cannot shard, so there the gate
+only requires the lockstep fallback to stay within linear scaling
+plus slack.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_fleet.py [--accesses N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_common import cpu_count, max_possible_speedup, write_record  # noqa: E402
+
+from repro.sim import FleetConfig, SimConfig, collect_fleet  # noqa: E402
+
+TENANT_COUNTS = [1, 2, 4, 8]
+BENCHES = "mcf,roms"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=200_000,
+                        help="trace length per tenant")
+    parser.add_argument("--output", default=os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_fleet.json"))
+    args = parser.parse_args()
+
+    config = SimConfig(
+        total_accesses=args.accesses, chunk_size=16_384, seed=1
+    )
+
+    legs = []
+    base_wall = None
+    ok = True
+    for tenants in TENANT_COUNTS:
+        fleet = FleetConfig(tenants=tenants, tiers=3, bench=BENCHES)
+        jobs = max_possible_speedup(tenants)
+        start = time.perf_counter()
+        result = collect_fleet(fleet, config, jobs=jobs)
+        wall_s = time.perf_counter() - start
+        if base_wall is None:
+            base_wall = wall_s
+        # wall(N) / wall(1): 1.0 = free co-location, N = fully serial.
+        degradation = wall_s / base_wall if base_wall > 0 else float("inf")
+        per_tenant_rate = args.accesses / wall_s if wall_s > 0 else 0.0
+        if tenants > 1:
+            sublinear = degradation < tenants * (
+                0.9 if max_possible_speedup(tenants) >= 2 else 1.3
+            )
+        else:
+            sublinear = True
+        ok = ok and sublinear
+        legs.append({
+            "tenants": tenants,
+            "jobs": jobs,
+            "epochs": result.epochs,
+            "wall_s": round(wall_s, 3),
+            "per_tenant_accesses_per_s": round(per_tenant_rate, 1),
+            "degradation_vs_one_tenant": round(degradation, 3),
+            "sublinear": sublinear,
+        })
+        print(f"tenants={tenants:2d} jobs={jobs:2d}: {wall_s:7.2f} s  "
+              f"({per_tenant_rate:12,.0f} acc/s/tenant, "
+              f"x{degradation:.2f} vs 1 tenant, "
+              f"{'ok' if sublinear else 'FAIL'})")
+
+    record = {
+        "benches": BENCHES,
+        "tiers": 3,
+        "accesses_per_tenant": args.accesses,
+        "cpu_count": cpu_count(),
+        "legs": legs,
+        "sublinear_scaling": ok,
+    }
+    write_record(args.output, record)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
