@@ -26,8 +26,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import functools
 import json
+import time
 from typing import List, Optional
 
 from repro.analysis import (
@@ -38,9 +40,12 @@ from repro.analysis import (
 )
 from repro.core import hwcost
 from repro.obs import (
+    MetricsRegistry,
+    ObsServer,
     Observability,
     diff_snapshots,
     load_metrics_file,
+    merged_chrome_trace,
     write_chrome_trace,
 )
 from repro.sim import (
@@ -74,6 +79,11 @@ def _config_from(args) -> SimConfig:
         migration_enomem_policy=getattr(args, "mig_enomem", "demote-first"),
         check_invariants=getattr(args, "check_invariants", False),
         engine=getattr(args, "engine", "batched"),
+        serve=getattr(args, "serve", False),
+        serve_port=getattr(args, "serve_port", 0),
+        record_series=getattr(args, "record_series", None) or "",
+        record_epochs=getattr(args, "record_epochs", 4096),
+        slo_rules=getattr(args, "slo_rules", None) or "",
     )
 
 
@@ -126,6 +136,30 @@ def _print_flame_table(obs: Observability) -> None:
           "wall-clock is inside per-stage spans")
 
 
+def _print_slo_summary(watchdog) -> None:
+    if watchdog is None:
+        return
+    if watchdog.breaches_total == 0:
+        print(f"slo           : all {len(watchdog.rules)} rules green")
+        return
+    per_rule = ", ".join(
+        f"{name}={total:.0f}"
+        for name, total in watchdog.breaches_by_rule().items()
+        if total > 0
+    )
+    print(f"slo           : {watchdog.breaches_total} breaches ({per_rule})")
+
+
+def _export_recorder(path: str, recorder) -> None:
+    """Write the per-epoch series (CSV for ``*.csv``, else JSONL)."""
+    if path.endswith(".csv"):
+        rows = recorder.to_csv(path)
+    else:
+        rows = recorder.to_jsonl(path)
+    print(f"per-epoch series written to {path} "
+          f"({rows} rows x {len(recorder.columns())} columns)")
+
+
 def cmd_run(args) -> int:
     workload = registry.build(args.bench, seed=args.seed)
     telemetry = None
@@ -137,17 +171,33 @@ def cmd_run(args) -> int:
             print(f"cannot write timeline file: {exc}")
             return 2
         telemetry = TelemetryBus([JsonlSink(args.timeline)])
+    live = bool(args.serve or args.record_series or args.slo_rules)
     obs = None
-    if args.metrics or args.trace:
-        obs = Observability(metrics=bool(args.metrics),
+    if args.metrics or args.trace or live:
+        obs = Observability(metrics=bool(args.metrics) or live,
                             tracing=bool(args.trace))
     sim = Simulation(
         workload, _config_from(args), policy=args.policy,
         telemetry=telemetry, obs=obs,
     )
-    result = sim.run()
+    # LIFO shutdown: the server (entered last) closes before the bus,
+    # so a late scrape never races a half-flushed telemetry file —
+    # and both close even if the run raises mid-flight.
+    with contextlib.ExitStack() as stack:
+        if telemetry is not None:
+            stack.enter_context(telemetry)
+        if args.serve:
+            server = stack.enter_context(
+                ObsServer(obs.registry, port=args.serve_port)
+            )
+            print(f"live metrics  : {server.url}/metrics  "
+                  "(also /healthz, /snapshot.json)", flush=True)
+        result = sim.run()
+        if args.serve and args.serve_linger > 0:
+            print(f"run finished; serving final snapshot for "
+                  f"{args.serve_linger:g}s", flush=True)
+            time.sleep(args.serve_linger)
     if telemetry is not None:
-        telemetry.close()
         print(f"epoch timeline written to {args.timeline} "
               f"({len(result.timeline)} events)")
     if result.timeline_dropped:
@@ -156,6 +206,17 @@ def cmd_run(args) -> int:
     if args.metrics:
         _write_metrics_snapshot(args.metrics, obs)
         print(f"metrics snapshot written to {args.metrics}")
+    if sim.recorder is not None:
+        rec = sim.recorder
+        print(f"recorded      : {rec.rows} epochs x "
+              f"{len(rec.columns())} series "
+              f"({rec.memory_bytes / 1024.0:.0f} KiB ring"
+              + (f", {rec.dropped} oldest rows overwritten"
+                 if rec.dropped else "")
+              + ")")
+        if args.record_out:
+            _export_recorder(args.record_out, rec)
+    _print_slo_summary(sim.watchdog)
     if args.trace:
         n_events = write_chrome_trace(args.trace, obs.tracer.spans)
         print(f"chrome trace written to {args.trace} "
@@ -259,11 +320,36 @@ def cmd_sweep(args) -> int:
         migration_copy_gbps=getattr(args, "mig_copy_gbps", 0.0),
         migration_enomem_policy=getattr(args, "mig_enomem", "demote-first"),
     )
-    if getattr(args, "metrics", None):
-        results = collect_matrix(
-            benches, policies, factory, seed=args.seed, jobs=args.jobs,
-            with_metrics=True,
-        )
+    serve = bool(getattr(args, "serve", False))
+    if getattr(args, "metrics", None) or serve:
+        with contextlib.ExitStack() as stack:
+            on_result = None
+            if serve:
+                # One live endpoint over the whole matrix: each cell's
+                # snapshot lands in the aggregate registry (labelled by
+                # bench/policy) the moment the worker returns it.
+                aggregate = MetricsRegistry(enabled=True)
+
+                def on_result(bench: str, policy: str, result) -> None:
+                    if result.metrics:
+                        aggregate.merge(
+                            result.metrics,
+                            extra_labels={"bench": bench, "policy": policy},
+                        )
+
+                server = stack.enter_context(
+                    ObsServer(aggregate, port=args.serve_port)
+                )
+                print(f"live metrics  : {server.url}/metrics  "
+                      "(cells appear as they finish)", flush=True)
+            results = collect_matrix(
+                benches, policies, factory, seed=args.seed, jobs=args.jobs,
+                with_metrics=True, on_result=on_result,
+            )
+            if serve and args.serve_linger > 0:
+                print(f"sweep finished; serving final aggregate for "
+                      f"{args.serve_linger:g}s", flush=True)
+                time.sleep(args.serve_linger)
         matrix = {
             bench: {
                 p: normalized(results[bench]["none"], results[bench][p])
@@ -271,18 +357,19 @@ def cmd_sweep(args) -> int:
             }
             for bench in benches
         }
-        cell_metrics = {
-            bench: {
-                policy: result.metrics
-                for policy, result in results[bench].items()
+        if getattr(args, "metrics", None):
+            cell_metrics = {
+                bench: {
+                    policy: result.metrics
+                    for policy, result in results[bench].items()
+                }
+                for bench in benches
             }
-            for bench in benches
-        }
-        with open(args.metrics, "w") as fh:
-            json.dump(cell_metrics, fh, indent=2)
-        n_cells = sum(len(row) for row in cell_metrics.values())
-        print(f"per-cell metrics written to {args.metrics} "
-              f"({n_cells} cells)")
+            with open(args.metrics, "w") as fh:
+                json.dump(cell_metrics, fh, indent=2)
+            n_cells = sum(len(row) for row in cell_metrics.values())
+            print(f"per-cell metrics written to {args.metrics} "
+                  f"({n_cells} cells)")
     else:
         matrix = run_matrix(
             benches, policies, factory, seed=args.seed, jobs=args.jobs
@@ -331,10 +418,45 @@ def cmd_fleet(args) -> int:
         return 2
     config = _config_from(args)
     config.seed = args.seed
-    result = collect_fleet(
-        fleet, config, jobs=args.jobs,
-        with_metrics=bool(args.out) or bool(args.metrics),
-    )
+    with_metrics = bool(args.out) or bool(args.metrics) or bool(args.serve)
+    watchdog = None
+    if args.serve or args.trace:
+        # The live/trace path needs the in-process lockstep fleet: the
+        # server scrapes its merged per-tenant snapshot mid-run and
+        # the tracer collects per-tenant spans.
+        from repro.fleet import FleetSimulation
+
+        fsim = FleetSimulation(
+            fleet,
+            config,
+            obs=Observability(metrics=with_metrics, tracing=False),
+            tenant_metrics=with_metrics,
+            tenant_tracing=bool(args.trace),
+        )
+        watchdog = fsim.watchdog
+        with contextlib.ExitStack() as stack:
+            if args.serve:
+                server = stack.enter_context(
+                    ObsServer(fsim.merged_snapshot, port=args.serve_port)
+                )
+                print(f"live metrics  : {server.url}/metrics  "
+                      "(per-tenant labelled series)", flush=True)
+            result = fsim.run()
+            if args.serve and args.serve_linger > 0:
+                print(f"fleet finished; serving final snapshot for "
+                      f"{args.serve_linger:g}s", flush=True)
+                time.sleep(args.serve_linger)
+        if args.trace:
+            trace = merged_chrome_trace(fsim.tenant_spans())
+            with open(args.trace, "w") as fh:
+                json.dump(trace, fh)
+            print(f"fleet chrome trace written to {args.trace} "
+                  f"({len(trace['traceEvents'])} span events, one process "
+                  "row per tenant; load in chrome://tracing)")
+    else:
+        result = collect_fleet(
+            fleet, config, jobs=args.jobs, with_metrics=with_metrics,
+        )
     tier_names = list(result.results[0].bandwidth_share)
     rows = []
     for t in result.results:
@@ -365,6 +487,7 @@ def cmd_fleet(args) -> int:
         )
         print(f"invariants    : {checks:.0f} checks, "
               f"{violations:.0f} violations")
+    _print_slo_summary(watchdog)
     if args.out:
         payload = result.as_dict()
         payload["metrics"] = result.metrics
@@ -577,9 +700,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="async: full fast tier demotes a victim first "
                             "or aborts the promotion")
 
+    def add_serve_args(p, what="the run"):
+        p.add_argument("--serve", action="store_true",
+                       help=f"serve /metrics, /healthz and /snapshot.json "
+                            f"over HTTP while {what} is in flight")
+        p.add_argument("--serve-port", type=int, default=0, metavar="PORT",
+                       help="live-endpoint port (0 = ephemeral; the bound "
+                            "URL is printed at startup)")
+        p.add_argument("--serve-linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep serving the final snapshot this long "
+                            "after the work finishes")
+
+    def add_record_args(p):
+        p.add_argument("--record-series", default=None, metavar="SPEC",
+                       help="per-epoch time-series recorder: 'default', "
+                            "'all', or comma-separated metric families")
+        p.add_argument("--record-epochs", type=int, default=4096,
+                       metavar="N",
+                       help="recorder ring capacity in epochs (oldest "
+                            "rows are overwritten beyond it)")
+        p.add_argument("--slo-rules", default=None, metavar="SPEC",
+                       help="SLO watchdog: 'default' or a JSON rule file; "
+                            "breaches raise alert.* telemetry and the "
+                            "slo_breaches_total counter")
+
     run = sub.add_parser("run", help="run one benchmark under one policy")
     add_run_args(run)
     add_migration_args(run)
+    add_serve_args(run)
+    add_record_args(run)
+    run.add_argument("--record-out", default=None, metavar="FILE",
+                     help="export the recorded per-epoch series (CSV if "
+                          "FILE ends .csv, else JSONL)")
     run.add_argument("--no-migrate", action="store_true",
                      help="identification-only mode (§4.1 S1)")
     run.add_argument("--check-invariants", action="store_true",
@@ -623,6 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect every cell's metrics snapshot into "
                             "one JSON file keyed bench -> policy")
     add_migration_args(sweep)
+    add_serve_args(sweep, what="the sweep")
 
     fleet = sub.add_parser(
         "fleet",
@@ -674,6 +828,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--metrics", default=None, metavar="FILE",
                        help="write the fleet metrics-registry snapshot "
                             "as JSON")
+    fleet.add_argument("--trace", default=None, metavar="FILE",
+                       help="write per-tenant pipeline spans as one "
+                            "chrome://tracing JSON (one process row per "
+                            "tenant; forces the lockstep path)")
+    add_serve_args(fleet, what="the fleet")
+    add_record_args(fleet)
 
     metrics = sub.add_parser(
         "metrics", help="pretty-print one metrics snapshot, or diff two"

@@ -44,8 +44,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs import NULL_OBS, Observability
-from repro.obs.metrics import Counter, Gauge
+from repro.obs import (
+    NULL_OBS,
+    Observability,
+    SloWatchdog,
+    TimeSeriesRecorder,
+    load_rules,
+    parse_series_spec,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.tracing import SpanRecord
 from repro.sim.config import FleetConfig, SimConfig
 from repro.sim.engine import M5Options, RunResult, Simulation
 from repro.sim.perf import bandwidth_shares, contention_factors
@@ -147,6 +155,10 @@ class TenantShard:
     slowdown_vs_isolated: float
     tier_names: List[str]
     epochs: int
+    #: The tenant's own metrics-registry snapshot (picklable; empty
+    #: unless the shard ran with ``with_metrics``).  The parent merges
+    #: it into the fleet snapshot under a ``tenant`` label.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -233,6 +245,7 @@ def _build_tenant(
     config: SimConfig,
     tenant: int,
     m5_options: Optional[M5Options] = None,
+    obs: Optional[Observability] = None,
 ) -> Tuple[str, int, Simulation, Optional[DemotionChain]]:
     """One tenant's fully wired simulation (plus its chain, if any)."""
     bench = fleet.bench_list()[tenant]
@@ -248,6 +261,7 @@ def _build_tenant(
         config,
         policy=fleet.policy,
         m5_options=m5_options,
+        obs=obs,
         nodes=nodes,
         tenant=tenant,
     )
@@ -320,6 +334,13 @@ class FleetSimulation:
             migration and chain traffic) are registered here with a
             ``tenant`` label and snapshotted onto
             ``FleetResult.metrics``.
+        tenant_metrics: give every tenant its own metrics registry;
+            tenant snapshots are merged into ``FleetResult.metrics``
+            (and :meth:`merged_snapshot`) under a ``tenant`` label.
+        tenant_tracing: give every tenant a tracer; the lockstep loop
+            wraps each tenant-epoch in an ``epoch`` span (with the
+            async migration tick nested), collected by
+            :meth:`tenant_spans` for the per-tenant Chrome trace.
     """
 
     def __init__(
@@ -328,6 +349,8 @@ class FleetSimulation:
         config: Optional[SimConfig] = None,
         m5_options: Optional[M5Options] = None,
         obs: Optional[Observability] = None,
+        tenant_metrics: bool = False,
+        tenant_tracing: bool = False,
     ) -> None:
         self.fleet = fleet
         self.config = config if config is not None else SimConfig()
@@ -335,9 +358,18 @@ class FleetSimulation:
         self.sims: List[Simulation] = []
         self.chains: List[Optional[DemotionChain]] = []
         self.tenant_seeds: List[int] = []
+        #: Per-tenant observability bundles (None when both concerns
+        #: are off, so the default fleet builds the seed pipeline).
+        self.tenant_obs: List[Optional[Observability]] = []
         for t in range(fleet.tenants):
+            obs_t: Optional[Observability] = None
+            if tenant_metrics or tenant_tracing:
+                obs_t = Observability(
+                    metrics=tenant_metrics, tracing=tenant_tracing
+                )
+            self.tenant_obs.append(obs_t)
             bench, seed, sim, chain = _build_tenant(
-                fleet, self.config, t, m5_options
+                fleet, self.config, t, m5_options, obs=obs_t
             )
             self.tenant_seeds.append(seed)
             self.sims.append(sim)
@@ -353,25 +385,81 @@ class FleetSimulation:
         ]
         self._share_epochs = 0
         self._mx = _register_fleet_metrics(self.obs)
+        # Fleet-level recorder + watchdog over the fleet gauges.  The
+        # tenant engines own their own recorders (wired by SimConfig);
+        # this one watches the cross-tenant signals — slowdown and
+        # bandwidth share — that only exist at fleet scope.
+        self.recorder: Optional[TimeSeriesRecorder] = None
+        self.watchdog: Optional[SloWatchdog] = None
+        record_spec = self.config.record_series
+        if self.config.slo_rules and not record_spec:
+            record_spec = "default"
+        if record_spec and self.obs.metrics_on:
+            if record_spec == "default":
+                series = (
+                    "fleet_tenant_slowdown",
+                    "fleet_tenant_bandwidth_share",
+                    "slo_breaches_total",
+                )
+            else:
+                series = parse_series_spec(record_spec)
+            self.recorder = TimeSeriesRecorder(
+                self.obs.registry,
+                series=series,
+                capacity=self.config.record_epochs,
+            )
+            if self.config.slo_rules:
+                self.watchdog = SloWatchdog(
+                    load_rules(self.config.slo_rules, self.config),
+                    self.recorder,
+                )
         self.result: Optional[FleetResult] = None
 
     def _arbitrate(self, demands: List[List[float]]) -> List[List[float]]:
         """Turn last epoch's demand matrix into per-tenant contention
         factor vectors, accumulating granted-share fractions."""
         self._share_epochs += 1
-        return arbitrate_epoch(
+        factors = arbitrate_epoch(
             demands,
             self.weights,
             self.tier_capacity_gbps,
             self.fleet.qos,
             self._share_sums,
         )
+        if self.obs.metrics_on:
+            self._refresh_tenant_gauges()
+        return factors
+
+    def _refresh_tenant_gauges(self) -> None:
+        """Keep the per-tenant gauges live mid-run for ``--serve``.
+
+        Series are touched per tenant in the same order as the final
+        :func:`_emit_tenant_metrics` pass (slowdown, then shares in
+        tier order), so a served run's final snapshot is identical to
+        an unserved one's.
+        """
+        mx_slowdown, mx_share, _ = self._mx
+        for t, sim in enumerate(self.sims):
+            label = str(t)
+            mx_slowdown.labels(tenant=label).set(
+                sim.perf.slowdown_vs_isolated()
+            )
+            for k, name in enumerate(self.tier_names):
+                mx_share.labels(tenant=label, tier=name).set(
+                    self._share_sums[t][k] / self._share_epochs
+                )
 
     def run(self) -> FleetResult:
         """Advance every tenant to trace exhaustion, then finalize."""
         sims = self.sims
         states = [sim._initial_state() for sim in sims]
         policies = [sim.epoch_policy for sim in sims]
+        tracers = []
+        for sim, st in zip(sims, states):
+            tracer = sim.obs.tracer if sim.obs.tracing_on else None
+            if tracer is not None:
+                tracer.sim_clock = lambda s=st: s.now_s
+            tracers.append(tracer)
         multi = self.fleet.tenants > 1
         demands: Optional[List[List[float]]] = None
         epoch = 0
@@ -389,13 +477,24 @@ class FleetSimulation:
                     continue
                 if factors is not None:
                     sim.perf.contention = factors[t]
-                sim.step_epoch(st, policies[t])
+                tracer = tracers[t]
+                if tracer is not None:
+                    tracer.current_epoch = epoch
+                    with tracer.span("epoch"):
+                        sim.step_epoch(st, policies[t])
+                else:
+                    sim.step_epoch(st, policies[t])
                 new_demands.append(
                     epoch_demands_gbps(sim, st.perf.total_s)
                     if multi
                     else []
                 )
             demands = new_demands
+            if self.recorder is not None:
+                t_now = max(st.now_s for st in states)
+                self.recorder.sample(epoch, t_now)
+                if self.watchdog is not None:
+                    self.watchdog.evaluate(epoch, t_now)
         results = [sim.finalize(st) for sim, st in zip(sims, states)]
         return self._assemble(results, epoch)
 
@@ -435,9 +534,44 @@ class FleetSimulation:
             engine=self.config.engine,
             epochs=epochs,
             results=tenant_results,
-            metrics=self.obs.snapshot() if self.obs.metrics_on else {},
+            metrics=self.merged_snapshot() if self.obs.metrics_on else {},
         )
         return self.result
+
+    def merged_snapshot(self) -> Dict[str, object]:
+        """One fleet-wide snapshot: the fleet-level families plus every
+        tenant registry merged in under a ``tenant`` label.
+
+        Safe to call mid-run from the :class:`~repro.obs.live.ObsServer`
+        scrape thread — a torn read raises ``RuntimeError`` and the
+        server retries.  Without per-tenant registries this is exactly
+        the fleet registry's own snapshot.
+        """
+        if not self.obs.metrics_on:
+            return {}
+        tenant_regs = [
+            (t, obs_t)
+            for t, obs_t in enumerate(self.tenant_obs)
+            if obs_t is not None and obs_t.metrics_on
+        ]
+        if not tenant_regs:
+            return self.obs.snapshot()
+        merged = MetricsRegistry(enabled=True)
+        merged.merge(self.obs.registry.snapshot())
+        for t, obs_t in tenant_regs:
+            merged.merge(
+                obs_t.registry.snapshot(), extra_labels={"tenant": str(t)}
+            )
+        return merged.snapshot()
+
+    def tenant_spans(self) -> List[Tuple[int, List[SpanRecord]]]:
+        """Per-tenant completed spans (tenants with tracing on only),
+        for the merged per-tenant Chrome trace export."""
+        return [
+            (t, obs_t.tracer.spans)
+            for t, obs_t in enumerate(self.tenant_obs)
+            if obs_t is not None and obs_t.tracing_on
+        ]
 
 
 # ----------------------------------------------------------------------
@@ -449,6 +583,7 @@ def run_tenant_shard(
     config: Optional[SimConfig] = None,
     tenant: int = 0,
     m5_options: Optional[M5Options] = None,
+    with_metrics: bool = False,
 ) -> TenantShard:
     """Run one tenant of an *uncoupled* fleet to completion.
 
@@ -457,6 +592,8 @@ def run_tenant_shard(
     epochs alone (contention factors would be identically 1.0) while
     recording the per-epoch demand trace the arbiter needs, so
     :func:`assemble_fleet` can rebuild the exact lockstep accounting.
+    With ``with_metrics`` the tenant gets its own registry and ships
+    the (picklable) snapshot back on :attr:`TenantShard.metrics`.
     """
     config = config if config is not None else SimConfig()
     if is_coupled(fleet, config):
@@ -464,7 +601,12 @@ def run_tenant_shard(
             "bandwidth-coupled fleets must run in lockstep: a tenant "
             "shard cannot see its neighbors' demands"
         )
-    bench, seed, sim, chain = _build_tenant(fleet, config, tenant, m5_options)
+    obs_t = (
+        Observability(metrics=True, tracing=False) if with_metrics else None
+    )
+    bench, seed, sim, chain = _build_tenant(
+        fleet, config, tenant, m5_options, obs=obs_t
+    )
     st = sim._initial_state()
     policy = sim.epoch_policy
     demands: List[List[float]] = []
@@ -485,6 +627,7 @@ def run_tenant_shard(
         slowdown_vs_isolated=sim.perf.slowdown_vs_isolated(),
         tier_names=[n.name for n in sim.memory.nodes],
         epochs=epochs,
+        metrics=obs_t.snapshot() if obs_t is not None else {},
     )
 
 
@@ -549,6 +692,22 @@ def assemble_fleet(
         tenant_results.append(tenant_result)
         if obs.metrics_on:
             _emit_tenant_metrics(mx, tenant_result)
+    metrics: Dict[str, object] = {}
+    if obs.metrics_on:
+        # Merge the shards' shipped registries under tenant labels —
+        # the same shape FleetSimulation.merged_snapshot() builds for
+        # the lockstep path, so sharded stays snapshot-identical.
+        if any(s.metrics for s in shards):
+            merged = MetricsRegistry(enabled=True)
+            merged.merge(obs.registry.snapshot())
+            for s in shards:
+                if s.metrics:
+                    merged.merge(
+                        s.metrics, extra_labels={"tenant": str(s.tenant)}
+                    )
+            metrics = merged.snapshot()
+        else:
+            metrics = obs.snapshot()
     return FleetResult(
         tenants=fleet.tenants,
         tiers=fleet.tiers,
@@ -557,7 +716,7 @@ def assemble_fleet(
         engine=config.engine,
         epochs=epochs,
         results=tenant_results,
-        metrics=obs.snapshot() if obs.metrics_on else {},
+        metrics=metrics,
     )
 
 
@@ -570,5 +729,9 @@ def run_fleet(
     """Convenience one-shot lockstep fleet runner (picklable)."""
     obs = Observability(metrics=True, tracing=False) if with_metrics else None
     return FleetSimulation(
-        fleet, config=config, m5_options=m5_options, obs=obs
+        fleet,
+        config=config,
+        m5_options=m5_options,
+        obs=obs,
+        tenant_metrics=with_metrics,
     ).run()

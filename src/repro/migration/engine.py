@@ -324,6 +324,11 @@ class AsyncMigrationEngine:
         if bw_pages is not None:
             budget = min(budget, bw_pages)
         if budget <= 0:
+            # Even a fully starved tick must refresh the queue-depth
+            # gauge: a throttled copy engine with a pinned queue is
+            # exactly what the SLO watchdog watches migration_pending
+            # for.
+            self._m_pending.set(len(self.queue))
             self.last_report = report
             return report
 

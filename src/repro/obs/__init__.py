@@ -20,7 +20,13 @@ bit-identical to the seed pipeline.  Enable per concern::
     table = obs.flame_table()        # where the wall-clock went
 
 Exports (``repro run --metrics/--trace``) live in
-:mod:`repro.obs.exporters`.
+:mod:`repro.obs.exporters`.  The *live* service — the streaming
+``/metrics`` HTTP endpoint (:class:`~repro.obs.live.ObsServer`), the
+per-epoch ring recorder
+(:class:`~repro.obs.timeseries.TimeSeriesRecorder`), and the SLO
+watchdog (:class:`~repro.obs.slo.SloWatchdog`) — rides on top of the
+same registry and is wired by ``--serve`` / ``--record-series`` /
+``--slo-rules``.
 """
 
 from __future__ import annotations
@@ -32,10 +38,13 @@ from repro.obs.exporters import (
     diff_snapshots,
     flatten_snapshot,
     load_metrics_file,
+    merged_chrome_trace,
     parse_prometheus,
+    series_key,
     to_prometheus,
     write_chrome_trace,
 )
+from repro.obs.live import ObsServer
 from repro.obs.metrics import (
     DURATION_BUCKETS,
     Counter,
@@ -45,6 +54,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_METRIC,
     log2_buckets,
+)
+from repro.obs.slo import SloRule, SloWatchdog, default_rules, load_rules
+from repro.obs.timeseries import (
+    DEFAULT_RECORD_SERIES,
+    TimeSeriesRecorder,
+    parse_series_spec,
 )
 from repro.obs.tracing import NULL_SPAN, Span, SpanRecord, Tracer, wall_clock
 
@@ -109,6 +124,16 @@ __all__ = [
     "flatten_snapshot",
     "load_metrics_file",
     "diff_snapshots",
+    "series_key",
     "chrome_trace",
+    "merged_chrome_trace",
     "write_chrome_trace",
+    "ObsServer",
+    "TimeSeriesRecorder",
+    "DEFAULT_RECORD_SERIES",
+    "parse_series_spec",
+    "SloRule",
+    "SloWatchdog",
+    "default_rules",
+    "load_rules",
 ]

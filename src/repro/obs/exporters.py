@@ -20,7 +20,7 @@ either on-disk format.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.tracing import SpanRecord
 
@@ -43,6 +43,18 @@ def _fmt_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) 
         return ""
     inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
     return "{" + inner + "}"
+
+
+def series_key(
+    name: str, labels: Dict[str, str], extra: Optional[Dict[str, str]] = None
+) -> str:
+    """The flat-map key for one series: ``name{label="value",...}``.
+
+    Exactly the exposition-format series identity, so keys built here
+    line up with :func:`parse_prometheus` output and the recorder's
+    column names.
+    """
+    return f"{name}{_fmt_labels(labels, extra)}"
 
 
 def to_prometheus(snapshot: Dict) -> str:
@@ -96,23 +108,34 @@ def parse_prometheus(text: str) -> Dict[str, float]:
 # snapshot flatten / diff (the `repro metrics` command)
 
 
-def flatten_snapshot(snapshot: Dict) -> Dict[str, float]:
+def flatten_snapshot(snapshot: Dict, buckets: bool = False) -> Dict[str, float]:
     """Flatten a registry snapshot to ``{series_key: value}``.
 
     Counter/gauge series flatten to one entry; histograms flatten to
-    their ``_sum`` and ``_count`` (buckets are elided — the diff view
-    cares about totals, the full shape lives in the snapshot file).
+    their ``_sum`` and ``_count`` (buckets are elided by default — the
+    diff view cares about totals, the full shape lives in the snapshot
+    file).  ``buckets=True`` also emits one ``_bucket{...,le=...}``
+    entry per cumulative bucket, keyed exactly as
+    :func:`to_prometheus` renders them, so a flattened snapshot and a
+    parsed exposition scrape compare key-for-key.
     """
     flat: Dict[str, float] = {}
     for metric in snapshot.get("metrics", []):
         name, kind = metric["name"], metric["kind"]
         for series in metric["series"]:
-            labels = _fmt_labels(series.get("labels", {}))
+            labels = series.get("labels", {})
             if kind == "histogram":
-                flat[f"{name}_sum{labels}"] = float(series["sum"])
-                flat[f"{name}_count{labels}"] = float(series["count"])
+                if buckets:
+                    for le, n in series["buckets"]:
+                        le_s = "+Inf" if le == "+Inf" else _fmt_value(float(le))
+                        key = series_key(f"{name}_bucket", labels, {"le": le_s})
+                        flat[key] = float(n)
+                flat[series_key(f"{name}_sum", labels)] = float(series["sum"])
+                flat[series_key(f"{name}_count", labels)] = float(
+                    series["count"]
+                )
             else:
-                flat[f"{name}{labels}"] = float(series["value"])
+                flat[series_key(name, labels)] = float(series["value"])
     return flat
 
 
@@ -145,12 +168,16 @@ def diff_snapshots(
 # Chrome trace_event
 
 
-def chrome_trace(spans: Sequence[SpanRecord]) -> Dict[str, object]:
+def chrome_trace(
+    spans: Sequence[SpanRecord], pid: int = 1
+) -> Dict[str, object]:
     """Spans as a Chrome ``trace_event`` JSON object.
 
     Complete (``"ph": "X"``) events with microsecond timestamps;
     loadable in chrome://tracing and Perfetto.  Each event carries the
-    epoch and the simulated-time window in ``args``.
+    epoch and the simulated-time window in ``args``; ``pid`` groups
+    the events into one process row (fleet traces use one pid per
+    tenant).
     """
     events: List[Dict[str, object]] = []
     for span in sorted(spans, key=lambda s: s.start_wall_s):
@@ -166,10 +193,24 @@ def chrome_trace(spans: Sequence[SpanRecord]) -> Dict[str, object]:
             "ph": "X",
             "ts": span.start_wall_s * 1e6,
             "dur": span.dur_wall_s * 1e6,
-            "pid": 1,
+            "pid": pid,
             "tid": 1,
             "args": args,
         })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merged_chrome_trace(
+    groups: Sequence[Tuple[int, Sequence[SpanRecord]]],
+) -> Dict[str, object]:
+    """One trace object from several span groups, one pid per group.
+
+    ``groups`` is ``[(pid, spans), ...]`` — e.g. one entry per fleet
+    tenant — rendered as separate process rows in chrome://tracing.
+    """
+    events: List[Dict[str, object]] = []
+    for pid, spans in groups:
+        events.extend(chrome_trace(spans, pid=pid)["traceEvents"])
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -117,6 +117,41 @@ class Histogram:
         out.append((float("inf"), running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation in-bucket.
+
+        The classic Prometheus ``histogram_quantile`` estimator: find
+        the bucket holding the target rank and interpolate linearly
+        between its bounds (the first bucket interpolates from 0, the
+        +Inf bucket clamps to the last finite bound).  NaN when the
+        histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        running = 0
+        for i, n in enumerate(self.counts[:-1]):
+            running += n
+            if running >= target and n > 0:
+                hi = self.bounds[i]
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                frac = (target - (running - n)) / n
+                return lo + (hi - lo) * frac
+        # Target rank lands in the +Inf bucket: clamp to the last
+        # finite bound (there is no upper edge to interpolate toward).
+        return self.bounds[-1]
+
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
 
 class _NullMetric:
     """Shared do-nothing instrument handed out by disabled registries."""
@@ -276,6 +311,95 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[MetricFamily]:
         return self._families.get(name)
+
+    def _widen(
+        self, family: MetricFamily, label_names: Tuple[str, ...]
+    ) -> None:
+        """Extend a family's label set in place (merge support only).
+
+        New label names append in incoming order; every existing
+        series is re-keyed with ``""`` for the added labels, so its
+        identity (and insertion order) is preserved.
+        """
+        union = family.label_names + tuple(
+            n for n in label_names if n not in family.label_names
+        )
+        if union == family.label_names:
+            return
+        pad = ("",) * (len(union) - len(family.label_names))
+        family._series = {
+            key + pad: metric for key, metric in family._series.items()
+        }
+        family.label_names = union
+
+    def merge(
+        self,
+        snapshot: Dict[str, object],
+        extra_labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Fold a registry ``snapshot()`` into this registry.
+
+        The fleet-aggregation primitive: worker processes (sweep
+        cells, fleet tenant shards) ship their picklable snapshot
+        dicts back to the parent, which merges them into one registry
+        — optionally widened by ``extra_labels`` (e.g. ``{"tenant":
+        "3"}``) so same-named series from different workers stay
+        distinct.  Counters and histograms accumulate; gauges take the
+        incoming value (last write wins).  No-op on a disabled
+        registry.
+
+        When the same family name arrives with a *different* label set
+        (a fleet-scope ``slo_breaches_total{rule=}`` meeting tenant
+        ``slo_breaches_total{rule=,tenant=}``), the family is widened
+        to the union and series missing a label carry ``""`` for it —
+        the Prometheus data model treats an empty label value as the
+        label being absent, so identities are preserved.
+        """
+        if not self.enabled:
+            return
+        extra = {str(k): str(v) for k, v in (extra_labels or {}).items()}
+        for metric in snapshot.get("metrics", []):
+            series_list = metric.get("series", [])
+            if not series_list:
+                continue
+            name, kind = metric["name"], metric["kind"]
+            label_names = tuple(series_list[0].get("labels", {})) + tuple(extra)
+            buckets = None
+            if kind == "histogram":
+                buckets = tuple(
+                    float(le)
+                    for le, _ in series_list[0]["buckets"]
+                    if le != "+Inf"
+                )
+            existing = self._families.get(name)
+            if (
+                existing is not None
+                and existing.kind == kind
+                and existing.label_names != label_names
+            ):
+                self._widen(existing, label_names)
+                label_names = existing.label_names
+            family = self._register(
+                name, metric.get("help", ""), kind, label_names,
+                buckets=buckets,
+            )
+            for series in series_list:
+                labels = {n: "" for n in family.label_names}
+                labels.update(series.get("labels", {}))
+                labels.update(extra)
+                target = family.labels(**labels)
+                if kind == "counter":
+                    target.inc(float(series["value"]))
+                elif kind == "gauge":
+                    target.set(float(series["value"]))
+                else:
+                    cumulative = [int(n) for _, n in series["buckets"]]
+                    previous = 0
+                    for i, running in enumerate(cumulative):
+                        target.counts[i] += running - previous
+                        previous = running
+                    target.sum += float(series["sum"])
+                    target.count += int(series["count"])
 
     def snapshot(self) -> Dict[str, object]:
         """JSON-serialisable dump of every family and series.

@@ -1,0 +1,286 @@
+"""Per-epoch metric time series in bounded memory.
+
+The metrics registry answers "what are the totals *now*"; figures,
+SLO rules, and live dashboards need "how did they move".  A
+:class:`TimeSeriesRecorder` closes that gap: once per epoch (a
+dedicated ``record`` pipeline stage appended by the engine when
+``SimConfig.record_series`` is set) it samples the selected metric
+families into per-column numpy ring buffers.
+
+Memory is strictly bounded: each column is one preallocated
+``float64`` array of ``capacity`` rows (``capacity * 8`` bytes per
+column, :attr:`TimeSeriesRecorder.memory_bytes` reports the total),
+and once the ring wraps the oldest rows are overwritten — overwrites
+are counted in :attr:`TimeSeriesRecorder.dropped`, never silent.
+
+Columns are keyed by the exposition-format series identity
+(``sim_accesses_total{tier="ddr"}``; histograms contribute their
+``_sum`` and ``_count``), plus three engine-provided base columns:
+``epoch``, ``t_s`` (the simulated clock), and ``epoch_s`` (the
+epoch's simulated duration).  Series that appear mid-run (a policy
+registering its first labelled series at epoch 40) back-fill earlier
+rows with NaN; every query works over the finite values.
+
+Export: :meth:`to_jsonl` / :meth:`to_csv` (NaN becomes ``null`` /
+empty).  Query: :meth:`window` (the last *n* rows), :meth:`rate`
+(per-simulated-second first-difference over a window), and
+:meth:`quantile` — the :class:`~repro.obs.slo.SloWatchdog` evaluates
+its rules over exactly this API.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.exporters import series_key
+from repro.obs.metrics import MetricsRegistry
+
+#: The curated low-cost default column set (``record_series =
+#: "default"``): small families on the engine's hot signals, so the
+#: recorder stage stays inside the overhead gate's 5% budget.
+DEFAULT_RECORD_SERIES: Tuple[str, ...] = (
+    "sim_accesses_total",
+    "sim_migrated_pages_total",
+    "migration_pending",
+    "migration_enqueued_total",
+    "invariant_violations_total",
+    "slo_breaches_total",
+)
+
+#: Engine-provided columns present in every sample.
+BASE_COLUMNS: Tuple[str, ...] = ("epoch", "t_s", "epoch_s")
+
+
+def parse_series_spec(spec: str) -> Tuple[str, ...]:
+    """Parse a ``record_series`` spec into family names.
+
+    ``"default"`` selects :data:`DEFAULT_RECORD_SERIES`, ``"all"`` (or
+    ``"*"``) every registered family, and a comma-separated list picks
+    explicit families (``"default"`` may appear as a list item and
+    expands in place).
+    """
+    names: List[str] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token == "default":
+            names.extend(
+                n for n in DEFAULT_RECORD_SERIES if n not in names
+            )
+        elif token in ("all", "*"):
+            return ("*",)
+        elif token not in names:
+            names.append(token)
+    if not names:
+        raise ValueError(
+            f"record_series spec {spec!r} selects no metric families"
+        )
+    return tuple(names)
+
+
+class TimeSeriesRecorder:
+    """Ring-buffered per-epoch samples of selected metric families.
+
+    Args:
+        registry: the run's metrics registry (sampled in place; the
+            recorder never mutates it).
+        series: family names to sample, or ``("*",)`` for all.
+        capacity: ring size in rows (epochs); memory per column is
+            ``capacity * 8`` bytes, allocated on first appearance.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        series: Tuple[str, ...] = DEFAULT_RECORD_SERIES,
+        capacity: int = 4096,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("recorder capacity must be positive")
+        self.registry = registry
+        self.series = tuple(series)
+        self.capacity = int(capacity)
+        self._all = "*" in self.series
+        self._columns: Dict[str, np.ndarray] = {}
+        self._next = 0
+        self._rows = 0
+        #: Total samples taken (rows seen, including overwritten ones).
+        self.samples_total = 0
+        #: Rows overwritten because the ring was at capacity.
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # sampling
+
+    def _flat_values(self) -> Dict[str, float]:
+        """The selected families flattened to ``{series_key: value}``."""
+        if self._all:
+            families = self.registry.families()
+        else:
+            families = [
+                family
+                for family in (self.registry.get(n) for n in self.series)
+                if family is not None
+            ]
+        flat: Dict[str, float] = {}
+        for family in families:
+            for labels, metric in family.series():
+                if family.kind == "histogram":
+                    flat[series_key(f"{family.name}_sum", labels)] = float(
+                        metric.sum
+                    )
+                    flat[series_key(f"{family.name}_count", labels)] = float(
+                        metric.count
+                    )
+                else:
+                    flat[series_key(family.name, labels)] = float(metric.value)
+        return flat
+
+    def sample(
+        self,
+        epoch: int,
+        t_s: float,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Record one row: base columns, ``extra``, and the selected
+        metric series.  Columns absent from this row are NaN-filled."""
+        row = self._flat_values()
+        row["epoch"] = float(epoch)
+        row["t_s"] = float(t_s)
+        if extra:
+            for key, value in extra.items():
+                row[key] = float(value)
+        i = self._next
+        for key, value in row.items():
+            column = self._columns.get(key)
+            if column is None:
+                column = self._columns[key] = np.full(
+                    self.capacity, np.nan, dtype=np.float64
+                )
+            column[i] = value
+        for key, column in self._columns.items():
+            if key not in row:
+                column[i] = np.nan
+        self._next = (i + 1) % self.capacity
+        if self._rows == self.capacity:
+            self.dropped += 1
+        else:
+            self._rows += 1
+        self.samples_total += 1
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def rows(self) -> int:
+        """Valid rows currently held (≤ capacity)."""
+        return self._rows
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total ring-buffer allocation across all columns."""
+        return sum(column.nbytes for column in self._columns.values())
+
+    def columns(self) -> List[str]:
+        """Column names in first-appearance order."""
+        return list(self._columns)
+
+    def _order(self) -> np.ndarray:
+        """Row indices oldest → newest."""
+        if self._rows < self.capacity:
+            return np.arange(self._rows)
+        return np.concatenate(
+            [np.arange(self._next, self.capacity), np.arange(self._next)]
+        )
+
+    def column(self, key: str, window: Optional[int] = None) -> np.ndarray:
+        """One column's values oldest → newest (last ``window`` rows).
+
+        Unknown columns raise ``KeyError`` — a misspelled family name
+        should fail loudly, not read as an empty series.
+        """
+        values = self._columns[key][self._order()]
+        if window is not None and window < values.size:
+            values = values[values.size - window:]
+        return values
+
+    def window(self, n: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """The last ``n`` rows (default: all) of every column."""
+        return {key: self.column(key, window=n) for key in self._columns}
+
+    def rate(self, key: str, window: Optional[int] = None) -> float:
+        """Mean per-simulated-second increase over the window.
+
+        First-difference of the column's finite values against the
+        matching ``t_s`` values; 0.0 when fewer than two finite points
+        exist or no simulated time elapsed between them.
+        """
+        values = self.column(key, window=window)
+        clock = self.column("t_s", window=window)
+        finite = np.isfinite(values) & np.isfinite(clock)
+        if int(finite.sum()) < 2:
+            return 0.0
+        values, clock = values[finite], clock[finite]
+        elapsed_s = float(clock[-1] - clock[0])
+        if elapsed_s <= 0.0:
+            return 0.0
+        return float(values[-1] - values[0]) / elapsed_s
+
+    def quantile(
+        self, key: str, q: float, window: Optional[int] = None
+    ) -> float:
+        """The q-quantile of the column's finite values (NaN if none)."""
+        values = self.column(key, window=window)
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            return float("nan")
+        return float(np.quantile(values, q))
+
+    def last(self, key: str) -> float:
+        """The most recent finite value of a column (NaN if none)."""
+        values = self.column(key)
+        finite = values[np.isfinite(values)]
+        return float(finite[-1]) if finite.size else float("nan")
+
+    # ------------------------------------------------------------------
+    # export
+
+    def _export_rows(self) -> List[Dict[str, Optional[float]]]:
+        keys = self.columns()
+        table = self.window()
+        out: List[Dict[str, Optional[float]]] = []
+        for i in range(self._rows):
+            row: Dict[str, Optional[float]] = {}
+            for key in keys:
+                value = float(table[key][i])
+                row[key] = None if math.isnan(value) else value
+            out.append(row)
+        return out
+
+    def to_jsonl(self, path: str) -> int:
+        """One JSON object per row (NaN → null); returns rows written."""
+        rows = self._export_rows()
+        with open(path, "w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row) + "\n")
+        return len(rows)
+
+    def to_csv(self, path: str) -> int:
+        """Header + one line per row (NaN → empty); returns rows."""
+        keys = self.columns()
+        rows = self._export_rows()
+        with open(path, "w") as fh:
+            fh.write(",".join(f'"{k}"' for k in keys) + "\n")
+            for row in rows:
+                fh.write(
+                    ",".join(
+                        "" if row[k] is None else repr(row[k]) for k in keys
+                    )
+                    + "\n"
+                )
+        return len(rows)

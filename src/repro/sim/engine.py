@@ -98,7 +98,15 @@ from repro.memory.migration import MigrationCostModel, MigrationEngine
 from repro.memory.mglru import MultiGenLru
 from repro.memory.tiers import NodeKind, NodeSpec, TieredMemory
 from repro.migration import AsyncMigrationConfig, AsyncMigrationEngine, TickReport
-from repro.obs import NULL_OBS, Observability, wall_clock
+from repro.obs import (
+    NULL_OBS,
+    Observability,
+    SloWatchdog,
+    TimeSeriesRecorder,
+    load_rules,
+    parse_series_spec,
+    wall_clock,
+)
 from repro.sim.config import SimConfig
 from repro.sim.perf import EpochPerf, PerformanceModel
 from repro.sim.telemetry import RingBufferSink, TelemetryBus
@@ -378,6 +386,33 @@ class Simulation:
             self.checker = InvariantChecker(self)
             self.stages += (self._stage_verify,)
             self._stage_names += ("verify",)
+        #: The live-observability stack (see :mod:`repro.obs.live`):
+        #: a per-epoch ring recorder and an optional SLO watchdog,
+        #: riding the pipeline as one appended ``record`` stage — like
+        #: the checker, so the disabled path stays exactly the frozen
+        #: golden sequence.  Both need the metrics registry; with
+        #: metrics off they stay None and no stage is appended.
+        self.recorder: Optional[TimeSeriesRecorder] = None
+        self.watchdog: Optional[SloWatchdog] = None
+        record_spec = self.config.record_series
+        if self.config.slo_rules and not record_spec:
+            # Watchdog rules read recorder columns, so rules imply
+            # recording (the curated default set).
+            record_spec = "default"
+        if record_spec and self.obs.metrics_on:
+            self.recorder = TimeSeriesRecorder(
+                self.obs.registry,
+                series=parse_series_spec(record_spec),
+                capacity=self.config.record_epochs,
+            )
+            if self.config.slo_rules:
+                self.watchdog = SloWatchdog(
+                    load_rules(self.config.slo_rules, self.config),
+                    self.recorder,
+                    bus=self.telemetry,
+                )
+            self.stages += (self._stage_record,)
+            self._stage_names += ("record",)
         self._register_engine_metrics()
         self.result: Optional[RunResult] = None
 
@@ -751,6 +786,19 @@ class Simulation:
         """Run the invariant catalogue against the finished epoch."""
         self.checker.check_epoch(st)
 
+    def _stage_record(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Sample the selected metric families into the ring recorder
+        and let the SLO watchdog judge the fresh row."""
+        self.recorder.sample(
+            st.epoch,
+            st.now_s,
+            extra={
+                "epoch_s": st.perf.total_s if st.perf is not None else 0.0
+            },
+        )
+        if self.watchdog is not None:
+            self.watchdog.evaluate(st.epoch, st.now_s)
+
     def _stage_checkpoint(self, policy: EpochPolicy, st: _EpochState) -> None:
         """Snapshot the access-count ratio at measurement points."""
         if st.epoch not in self._checkpoint_epochs or self.config.migrate:
@@ -845,6 +893,12 @@ class Simulation:
             self.result.extra["invariant_checks"] = float(self.checker.checks_run)
             self.result.extra["invariant_violations"] = float(
                 len(self.checker.violations)
+            )
+        if self.recorder is not None:
+            self.result.extra["recorded_epochs"] = float(self.recorder.rows)
+        if self.watchdog is not None:
+            self.result.extra["slo_breaches"] = float(
+                self.watchdog.breaches_total
             )
         if self.obs.metrics_on:
             self.result.metrics = self.obs.snapshot()

@@ -121,6 +121,7 @@ def collect_matrix(
     m5_options: Optional[M5Options] = None,
     jobs: int = 1,
     with_metrics: bool = False,
+    on_result: Optional[Callable[[str, str, RunResult], None]] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (bench, policy) pair; returns the raw results.
 
@@ -131,6 +132,12 @@ def collect_matrix(
     ``with_metrics`` enables the per-cell metrics registry, so every
     ``RunResult.metrics`` carries the cell's snapshot (aggregated by
     ``repro sweep --metrics``).
+
+    ``on_result(bench, policy, result)`` is invoked in the parent
+    process as each cell lands (completion order, not matrix order) —
+    the hook ``repro sweep --serve`` uses to merge cell snapshots into
+    its live aggregate registry mid-sweep.  The hook never crosses the
+    process boundary, so it may close over unpicklable state.
     """
     benches = list(benches)
     policies = list(policies)
@@ -147,10 +154,19 @@ def collect_matrix(
             )
 
     if jobs == 1 or len(cells) <= 1:
-        outcomes = [_run_cell(cell) for cell in cells]
+        outcomes = []
+        for cell in cells:
+            outcome = _run_cell(cell)
+            if on_result is not None:
+                on_result(cell[0], cell[1], outcome)
+            outcomes.append(outcome)
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_run_cell, cells))
+            outcomes = []
+            for cell, outcome in zip(cells, pool.map(_run_cell, cells)):
+                if on_result is not None:
+                    on_result(cell[0], cell[1], outcome)
+                outcomes.append(outcome)
 
     results: Dict[str, Dict[str, RunResult]] = {b: {} for b in benches}
     for (bench, policy, *_), outcome in zip(cells, outcomes):
@@ -187,8 +203,9 @@ def run_matrix(
     return matrix
 
 
-#: One fleet tenant shard: (fleet, config, tenant, m5_options).
-_TenantCell = Tuple[FleetConfig, SimConfig, int, Optional[M5Options]]
+#: One fleet tenant shard: (fleet, config, tenant, m5_options,
+#: with_metrics).
+_TenantCell = Tuple[FleetConfig, SimConfig, int, Optional[M5Options], bool]
 
 
 def _run_fleet_tenant(cell: _TenantCell) -> "TenantShard":
@@ -197,8 +214,11 @@ def _run_fleet_tenant(cell: _TenantCell) -> "TenantShard":
     # top-level import here would be a cycle.
     from repro.fleet.sim import run_tenant_shard
 
-    fleet, config, tenant, m5_options = cell
-    return run_tenant_shard(fleet, config, tenant=tenant, m5_options=m5_options)
+    fleet, config, tenant, m5_options, with_metrics = cell
+    return run_tenant_shard(
+        fleet, config, tenant=tenant, m5_options=m5_options,
+        with_metrics=with_metrics,
+    )
 
 
 def collect_fleet(
@@ -233,7 +253,8 @@ def collect_fleet(
             fleet, config, m5_options=m5_options, with_metrics=with_metrics
         )
     cells: List[_TenantCell] = [
-        (fleet, config, tenant, m5_options) for tenant in range(fleet.tenants)
+        (fleet, config, tenant, m5_options, with_metrics)
+        for tenant in range(fleet.tenants)
     ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         shards = list(pool.map(_run_fleet_tenant, cells))

@@ -181,3 +181,11 @@ class TelemetryBus:
         """Close every sink (flush files)."""
         for sink in self.sinks:
             sink.close()
+
+    def __enter__(self) -> "TelemetryBus":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        """Close the sinks even when the surrounded run raises, so a
+        crashed run still leaves flushed JSONL timelines on disk."""
+        self.close()

@@ -157,3 +157,109 @@ def test_fleet_metrics_snapshot_has_tenant_labels():
     assert "fleet_tenant_slowdown" in families
     assert "fleet_tenant_bandwidth_share" in families
     assert "fleet_tenant_migrated_pages_total" in families
+
+
+# ----------------------------------------------------------------------
+# live observability: merged per-tenant snapshots, tracing, SLO rules
+
+
+def test_merged_snapshot_carries_per_tenant_labels():
+    from repro.obs import Observability, flatten_snapshot
+
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf,roms")
+    fsim = FleetSimulation(
+        fleet, small_config(),
+        obs=Observability(metrics=True, tracing=False),
+        tenant_metrics=True,
+    )
+    fsim.run()
+    flat = flatten_snapshot(fsim.merged_snapshot())
+    tenants = {
+        key.split('tenant="', 1)[1].split('"', 1)[0]
+        for key in flat if 'tenant="' in key
+    }
+    assert {"0", "1"} <= tenants
+    # tenant-scope engine series exist next to the fleet-scope gauges
+    assert any(key.startswith("sim_accesses_total{") for key in flat)
+    assert any(
+        key.startswith("fleet_tenant_slowdown{") for key in flat
+    )
+
+
+def test_sharded_fleet_metrics_match_lockstep():
+    from repro.obs import flatten_snapshot
+
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf,roms")
+    config = small_config()
+    lockstep = run_fleet(fleet, config, with_metrics=True)
+    sharded = collect_fleet(fleet, config, jobs=2, with_metrics=True)
+    assert flatten_snapshot(sharded.metrics) == flatten_snapshot(
+        lockstep.metrics
+    )
+
+
+def test_served_fleet_final_snapshot_matches_unserved():
+    from repro.obs import Observability, flatten_snapshot
+    from repro.obs.live import ObsServer
+
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf")
+    config = small_config()
+
+    def final_snapshot(serve):
+        fsim = FleetSimulation(
+            fleet, config,
+            obs=Observability(metrics=True, tracing=False),
+            tenant_metrics=True,
+        )
+        if serve:
+            with ObsServer(fsim.merged_snapshot):
+                fsim.run()
+        else:
+            fsim.run()
+        return fsim.merged_snapshot()
+
+    assert flatten_snapshot(final_snapshot(True)) == flatten_snapshot(
+        final_snapshot(False)
+    )
+
+
+def test_tenant_spans_one_group_per_traced_tenant():
+    from repro.obs import Observability
+    from repro.obs.exporters import merged_chrome_trace
+
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf")
+    fsim = FleetSimulation(
+        fleet, small_config(),
+        obs=Observability(metrics=True, tracing=False),
+        tenant_tracing=True,
+    )
+    fsim.run()
+    groups = fsim.tenant_spans()
+    assert [pid for pid, _ in groups] == [0, 1]
+    assert all(spans for _, spans in groups)
+    trace = merged_chrome_trace(groups)
+    assert {e["pid"] for e in trace["traceEvents"]} == {0, 1}
+    assert any(e["name"] == "epoch" for e in trace["traceEvents"])
+
+
+def test_fleet_recorder_and_watchdog_wire_up():
+    from repro.obs import Observability
+
+    fleet = FleetConfig(tenants=2, tiers=2, bench="mcf")
+    config = small_config(record_series="default", slo_rules="default")
+    fsim = FleetSimulation(
+        fleet, config,
+        obs=Observability(metrics=True, tracing=False),
+        tenant_metrics=True,
+    )
+    fsim.run()
+    assert fsim.recorder is not None
+    assert fsim.recorder.rows == ACCESSES // CHUNK
+    # default fleet series include the per-tenant arbitration gauges
+    assert any(
+        c.startswith("fleet_tenant_slowdown{")
+        for c in fsim.recorder.columns()
+    )
+    assert fsim.watchdog is not None
+    # a tiny uncontended fleet must not breach anything
+    assert fsim.watchdog.breaches_total == 0

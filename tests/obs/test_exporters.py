@@ -8,6 +8,7 @@ from repro.obs.exporters import (
     diff_snapshots,
     flatten_snapshot,
     load_metrics_file,
+    merged_chrome_trace,
     parse_prometheus,
     to_prometheus,
     write_chrome_trace,
@@ -61,6 +62,49 @@ class TestPrometheus:
         reg = MetricsRegistry()
         reg.gauge("g").set(0.123456789)
         assert "g 0.123456789" in to_prometheus(reg.snapshot())
+
+
+def labelled_histogram_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    lat = reg.histogram("stage_seconds", "Stage wall-clock by tenant",
+                        labels=("tenant", "stage"), buckets=(0.5, 1.0))
+    lat.labels(tenant="0", stage="perf").observe(0.25)
+    lat.labels(tenant="0", stage="perf").observe(2.0)
+    lat.labels(tenant="1", stage="migrate").observe(0.75)
+    reg.counter("acc_total", labels=("tenant",)).labels(tenant="1").inc(3)
+    return reg
+
+
+class TestLabelledHistogramRoundTrip:
+    """Exporter chain must be lossless for labelled histograms: a
+    scrape parsed back must equal the bucket-level flatten of the
+    snapshot key-for-key."""
+
+    def test_parse_of_exposition_equals_bucket_flatten(self):
+        snap = labelled_histogram_registry().snapshot()
+        parsed = parse_prometheus(to_prometheus(snap))
+        assert parsed == flatten_snapshot(snap, buckets=True)
+
+    def test_bucket_keys_carry_series_labels_and_le(self):
+        snap = labelled_histogram_registry().snapshot()
+        flat = flatten_snapshot(snap, buckets=True)
+        key = 'stage_seconds_bucket{tenant="0",stage="perf",le="+Inf"}'
+        assert flat[key] == 2.0
+        assert flat['stage_seconds_sum{tenant="1",stage="migrate"}'] == 0.75
+        assert flat['stage_seconds_count{tenant="1",stage="migrate"}'] == 1.0
+
+    def test_round_trip_survives_merge_widening(self):
+        # widened families pad labels with ""; the exposition must
+        # still parse back to the identical flat map
+        reg = MetricsRegistry()
+        reg.counter("slo_breaches_total", labels=("rule",)).labels(
+            rule="deep"
+        ).inc(2)
+        reg.merge(labelled_histogram_registry().snapshot())
+        snap = reg.snapshot()
+        assert parse_prometheus(to_prometheus(snap)) == flatten_snapshot(
+            snap, buckets=True
+        )
 
 
 class TestFlattenDiff:
@@ -124,6 +168,13 @@ class TestChromeTrace:
         assert n == 2
         loaded = json.loads(path.read_text())
         assert len(loaded["traceEvents"]) == 2
+
+    def test_merged_trace_one_pid_per_group(self):
+        groups = [(0, self.traced().spans), (1, self.traced().spans)]
+        trace = merged_chrome_trace(groups)
+        assert len(trace["traceEvents"]) == 4
+        assert {e["pid"] for e in trace["traceEvents"]} == {0, 1}
+        assert trace["displayTimeUnit"] == "ms"
 
 
 class TestObservabilityFacade:

@@ -127,6 +127,137 @@ class TestDisabledRegistry:
         assert reg.snapshot() == {"metrics": []}
 
 
+class TestHistogramQuantile:
+    def make(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 1.5, 3.0):
+            h.observe(v)
+        return h
+
+    def test_interpolates_within_bucket(self):
+        h = self.make()
+        # rank 2 of 4 lands at the top of the first bucket (2 obs <= 1)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        # rank 1 is halfway through the first bucket, from 0
+        assert h.quantile(0.25) == pytest.approx(0.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        h = Histogram(bounds=(10.0,))
+        h.observe(3.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+
+    def test_inf_bucket_clamps_to_last_bound(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_empty_is_nan_and_range_checked(self):
+        h = Histogram(bounds=(1.0,))
+        assert h.quantile(0.5) != h.quantile(0.5)  # NaN
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_named_percentiles(self):
+        h = self.make()
+        assert h.p50() == h.quantile(0.50)
+        assert h.p95() == h.quantile(0.95)
+        assert h.p99() == h.quantile(0.99)
+        assert h.p99() >= h.p95() >= h.p50()
+
+
+class TestMerge:
+    def shard(self):
+        reg = MetricsRegistry()
+        reg.counter("acc_total", "Accesses", labels=("tier",)).labels(
+            tier="ddr"
+        ).inc(10)
+        reg.gauge("depth", "Queue depth").set(4.0)
+        hist = reg.histogram("lat_seconds", "Latency", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        return reg
+
+    def test_counters_accumulate(self):
+        target = MetricsRegistry()
+        target.merge(self.shard().snapshot())
+        target.merge(self.shard().snapshot())
+        assert target.get("acc_total").labels(tier="ddr").value == 20.0
+
+    def test_gauges_last_write_wins(self):
+        target = MetricsRegistry()
+        target.merge(self.shard().snapshot())
+        late = self.shard()
+        late.get("depth").set(9.0)
+        target.merge(late.snapshot())
+        assert target.get("depth").labels().value == 9.0
+
+    def test_histograms_accumulate_buckets_sum_count(self):
+        target = MetricsRegistry()
+        target.merge(self.shard().snapshot())
+        target.merge(self.shard().snapshot())
+        h = target.get("lat_seconds").labels()
+        assert h.count == 4
+        assert h.sum == 11.0
+        assert h.cumulative() == [(1.0, 2), (2.0, 2), (float("inf"), 4)]
+
+    def test_extra_labels_keep_shards_distinct(self):
+        target = MetricsRegistry()
+        for tenant in ("0", "1"):
+            target.merge(self.shard().snapshot(),
+                         extra_labels={"tenant": tenant})
+        fam = target.get("acc_total")
+        assert fam.label_names == ("tier", "tenant")
+        assert fam.labels(tier="ddr", tenant="0").value == 10.0
+        assert fam.labels(tier="ddr", tenant="1").value == 10.0
+
+    def test_widens_conflicting_label_sets(self):
+        target = MetricsRegistry()
+        own = target.counter("slo_breaches_total", "Breaches",
+                             labels=("rule",))
+        own.labels(rule="deep").inc(2)
+        target.merge(self.shard().snapshot(), extra_labels={"tenant": "3"})
+        incoming = MetricsRegistry()
+        incoming.counter("slo_breaches_total", "Breaches",
+                         labels=("rule",)).labels(rule="deep").inc(5)
+        target.merge(incoming.snapshot(), extra_labels={"tenant": "3"})
+        fam = target.get("slo_breaches_total")
+        assert fam.label_names == ("rule", "tenant")
+        # pre-existing series re-keyed with "" padding, still reachable
+        assert fam.labels(rule="deep", tenant="").value == 2.0
+        assert fam.labels(rule="deep", tenant="3").value == 5.0
+
+    def test_empty_series_families_are_skipped(self):
+        source = MetricsRegistry()
+        source.counter("never_touched_total", "Registered, no series")
+        snap = source.snapshot()
+        # a labelless counter materialises its single series lazily;
+        # force the empty-series shape a labelled family produces
+        snap["metrics"] = [dict(m, series=[]) for m in snap["metrics"]]
+        target = MetricsRegistry()
+        target.merge(snap)
+        assert target.get("never_touched_total") is None
+
+    def test_kind_conflict_rejected(self):
+        target = MetricsRegistry()
+        target.counter("x_total").inc()
+        bad = MetricsRegistry()
+        bad.gauge("x_total").set(1.0)
+        with pytest.raises(ValueError):
+            target.merge(bad.snapshot())
+
+    def test_disabled_target_is_a_noop(self):
+        target = MetricsRegistry(enabled=False)
+        target.merge(self.shard().snapshot())
+        assert target.snapshot() == {"metrics": []}
+
+    def test_merge_round_trips_through_json(self):
+        target = MetricsRegistry()
+        target.merge(json.loads(json.dumps(self.shard().snapshot())),
+                     extra_labels={"tenant": "7"})
+        h = target.get("lat_seconds").labels(tenant="7")
+        assert h.count == 2 and h.sum == 5.5
+
+
 class TestSnapshot:
     def test_round_trips_through_json(self):
         reg = MetricsRegistry()

@@ -19,6 +19,10 @@ per-epoch invariant catalogue gets its own (looser) budget via
 ``--invariant-tolerance``, and its results must likewise stay
 bit-identical — checking may only observe.
 
+A ``recorder`` leg runs with ``record_series="default"`` (the per-epoch
+time-series ring recorder stage enabled) under the standard tolerance:
+recording, too, must stay within budget and bit-identical.
+
 Usage::
 
     PYTHONPATH=src python tools/check_overhead.py [--tolerance 0.05]
@@ -38,17 +42,20 @@ from repro.obs import Observability  # noqa: E402
 from repro.sim import SimConfig, Simulation  # noqa: E402
 from repro.workloads import registry  # noqa: E402
 
-#: (leg name, observability factory, check_invariants)
+#: (leg name, observability factory, check_invariants, record)
 LEGS = (
-    ("plain", lambda: None, False),
-    ("metrics", lambda: Observability(metrics=True, tracing=False), False),
-    ("metrics+tracing", lambda: Observability(metrics=True, tracing=True),
+    ("plain", lambda: None, False, False),
+    ("metrics", lambda: Observability(metrics=True, tracing=False), False,
      False),
-    ("invariants", lambda: None, True),
+    ("metrics+tracing", lambda: Observability(metrics=True, tracing=True),
+     False, False),
+    ("invariants", lambda: None, True, False),
+    ("recorder", lambda: Observability(metrics=True, tracing=False), False,
+     True),
 )
 
 
-def one_run(args, obs, check_invariants=False):
+def one_run(args, obs, check_invariants=False, record=False):
     workload = registry.build(args.bench, seed=args.seed)
     config = SimConfig(
         total_accesses=args.accesses,
@@ -56,6 +63,7 @@ def one_run(args, obs, check_invariants=False):
         trace_subsample=64.0,
         checkpoints=1,
         check_invariants=check_invariants,
+        record_series="default" if record else "",
     )
     sim = Simulation(workload, config, policy=args.policy, obs=obs)
     start = time.perf_counter()
@@ -83,14 +91,14 @@ def main() -> int:
                              "check-invariants leg")
     args = parser.parse_args()
 
-    times = {name: [] for name, _, _ in LEGS}
+    times = {name: [] for name, _, _, _ in LEGS}
     results = {}
     last_obs = {}
     # warm-up: first run pays numpy/import costs, charged to no leg
     one_run(args, None)
     for _ in range(args.repeats):
-        for name, make_obs, check in LEGS:
-            elapsed, result, obs = one_run(args, make_obs(), check)
+        for name, make_obs, check, record in LEGS:
+            elapsed, result, obs = one_run(args, make_obs(), check, record)
             times[name].append(elapsed)
             results[name] = result
             last_obs[name] = obs
@@ -99,7 +107,7 @@ def main() -> int:
     base = medians["plain"]
     print(f"{'leg':>16s}  {'median_s':>9s}  {'vs plain':>9s}")
     failed = []
-    for name, _, _ in LEGS:
+    for name, _, _, _ in LEGS:
         tolerance = (args.invariant_tolerance if name == "invariants"
                      else args.tolerance)
         limit = base * (1.0 + tolerance) + args.slack_s
@@ -109,7 +117,7 @@ def main() -> int:
             failed.append(name)
 
     plain = results["plain"]
-    for name in ("metrics", "metrics+tracing", "invariants"):
+    for name in ("metrics", "metrics+tracing", "invariants", "recorder"):
         r = results[name]
         if (r.execution_time_s != plain.execution_time_s
                 or r.promoted != plain.promoted
