@@ -50,6 +50,7 @@ from repro.obs import (
 )
 from repro.sim import (
     ALL_POLICIES,
+    CheckpointError,
     JsonlSink,
     SimConfig,
     Simulation,
@@ -84,6 +85,8 @@ def _config_from(args) -> SimConfig:
         record_series=getattr(args, "record_series", None) or "",
         record_epochs=getattr(args, "record_epochs", 4096),
         slo_rules=getattr(args, "slo_rules", None) or "",
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
+        checkpoint_path=getattr(args, "checkpoint", None) or "",
     )
 
 
@@ -161,39 +164,62 @@ def _export_recorder(path: str, recorder) -> None:
 
 
 def cmd_run(args) -> int:
-    workload = registry.build(args.bench, seed=args.seed)
-    telemetry = None
-    if getattr(args, "timeline", None):
+    resume = getattr(args, "resume", None)
+    if resume:
+        # The checkpoint carries the whole run: workload, config,
+        # policy, telemetry bus (a path-backed JsonlSink reopens in
+        # append mode), metrics registry.  Run-shape flags are
+        # ignored; --serve still works against the restored registry.
         try:
-            with open(args.timeline, "w"):  # fail fast on a bad path
-                pass
-        except OSError as exc:
-            print(f"cannot write timeline file: {exc}")
+            sim = Simulation.load_state(resume)
+        except (OSError, CheckpointError) as exc:
+            print(f"cannot resume from {resume}: {exc}")
             return 2
-        telemetry = TelemetryBus([JsonlSink(args.timeline)])
-    live = bool(args.serve or args.record_series or args.slo_rules)
-    obs = None
-    if args.metrics or args.trace or live:
-        obs = Observability(metrics=bool(args.metrics) or live,
-                            tracing=bool(args.trace))
-    sim = Simulation(
-        workload, _config_from(args), policy=args.policy,
-        telemetry=telemetry, obs=obs,
-    )
+        print(f"resuming from {resume} "
+              f"(benchmark {sim.workload.spec.name!r}, "
+              f"policy {sim.policy_name!r}, after epoch {sim.resumed_epoch})")
+        telemetry = None
+        obs = sim.obs if sim.obs.enabled else None
+    else:
+        if not args.bench:
+            print("error: --bench is required (unless resuming with "
+                  "--resume)")
+            return 2
+        workload = registry.build(args.bench, seed=args.seed)
+        telemetry = None
+        if getattr(args, "timeline", None):
+            try:
+                with open(args.timeline, "w"):  # fail fast on a bad path
+                    pass
+            except OSError as exc:
+                print(f"cannot write timeline file: {exc}")
+                return 2
+            telemetry = TelemetryBus([JsonlSink(args.timeline)])
+        live = bool(args.serve or args.record_series or args.slo_rules)
+        obs = None
+        if args.metrics or args.trace or live:
+            obs = Observability(metrics=bool(args.metrics) or live,
+                                tracing=bool(args.trace))
+        sim = Simulation(
+            workload, _config_from(args), policy=args.policy,
+            telemetry=telemetry, obs=obs,
+        )
     # LIFO shutdown: the server (entered last) closes before the bus,
     # so a late scrape never races a half-flushed telemetry file —
     # and both close even if the run raises mid-flight.
     with contextlib.ExitStack() as stack:
         if telemetry is not None:
             stack.enter_context(telemetry)
-        if args.serve:
+        if args.serve and obs is not None:
             server = stack.enter_context(
                 ObsServer(obs.registry, port=args.serve_port)
             )
             print(f"live metrics  : {server.url}/metrics  "
                   "(also /healthz, /snapshot.json)", flush=True)
         result = sim.run()
-        if args.serve and args.serve_linger > 0:
+        if resume and sim.telemetry.active:
+            sim.telemetry.close()  # flush the reopened JSONL sink
+        if args.serve and obs is not None and args.serve_linger > 0:
             print(f"run finished; serving final snapshot for "
                   f"{args.serve_linger:g}s", flush=True)
             time.sleep(args.serve_linger)
@@ -204,8 +230,12 @@ def cmd_run(args) -> int:
         print(f"timeline ring : overflowed; {result.timeline_dropped} "
               "oldest events dropped (timeline is the tail of the run)")
     if args.metrics:
-        _write_metrics_snapshot(args.metrics, obs)
-        print(f"metrics snapshot written to {args.metrics}")
+        if obs is not None and obs.metrics_on:
+            _write_metrics_snapshot(args.metrics, obs)
+            print(f"metrics snapshot written to {args.metrics}")
+        else:
+            print("--metrics ignored: the resumed checkpoint was taken "
+                  "without a metrics registry")
     if sim.recorder is not None:
         rec = sim.recorder
         print(f"recorded      : {rec.rows} epochs x "
@@ -232,6 +262,10 @@ def cmd_run(args) -> int:
         print(f"p99 latency   : {result.p99_latency_us:.2f} us")
     print(f"promoted      : {result.promoted}  demoted: {result.demoted}")
     print(f"DDR/CXL pages : {result.nr_pages_ddr} / {result.nr_pages_cxl}")
+    if sim.config.checkpoint_every > 0:
+        print(f"checkpoints   : {sim.checkpoints_written} written "
+              f"(every {sim.config.checkpoint_every} epochs -> "
+              f"{sim.config.checkpoint_path})")
     if result.access_count_ratio is not None:
         print(f"access-count ratio: {result.access_count_ratio:.3f}")
     if getattr(args, "check_invariants", False):
@@ -256,6 +290,140 @@ def cmd_run(args) -> int:
                   f"epochs, peak pending {totals['peak_pending']:.0f}, "
                   f"commit/abort ratio "
                   f"{totals['committed']:.0f}/{totals['aborted']:.0f}")
+    return 0
+
+
+def _parse_stream_spec(text: str):
+    """``NAME=TRACE[,policy=P][,budget=N]`` → :class:`StreamSpec`."""
+    from repro.service import StreamSpec
+
+    if "=" not in text:
+        raise ValueError(
+            f"stream spec {text!r} must look like NAME=TRACE"
+            "[,policy=P][,budget=N]"
+        )
+    name, rest = text.split("=", 1)
+    parts = rest.split(",")
+    kwargs = {}
+    for part in parts[1:]:
+        if "=" not in part:
+            raise ValueError(f"bad stream option {part!r} in {text!r}")
+        key, value = part.split("=", 1)
+        if key == "policy":
+            if value not in ALL_POLICIES:
+                raise ValueError(f"unknown policy {value!r} in {text!r}")
+            kwargs["policy"] = value
+        elif key == "budget":
+            kwargs["budget"] = int(value)
+        else:
+            raise ValueError(
+                f"unknown stream option {key!r} in {text!r} "
+                "(known: policy, budget)"
+            )
+    return StreamSpec(name.strip(), parts[0], **kwargs)
+
+
+def cmd_serve(args) -> int:
+    from repro.service import Service, ServiceConfig
+
+    if args.resume:
+        overrides = {}
+        if args.max_rounds is not None:
+            overrides["max_rounds"] = args.max_rounds
+        if args.poll_interval is not None:
+            overrides["poll_interval_s"] = args.poll_interval
+        try:
+            service = Service.resume(args.resume, **overrides)
+        except (OSError, CheckpointError) as exc:
+            print(f"cannot resume service from {args.resume}: {exc}")
+            return 2
+        print(f"resumed service from {args.resume} "
+              f"(round {service.round}, "
+              f"{len(service.active_streams)} live / "
+              f"{len(service.results)} finished streams)")
+    else:
+        if not args.stream:
+            print("error: at least one --stream NAME=TRACE is required "
+                  "(unless resuming with --resume)")
+            return 2
+        try:
+            specs = [_parse_stream_spec(s) for s in args.stream]
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        sim_config = SimConfig(
+            chunk_size=args.chunk,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        svc_config = ServiceConfig(
+            buffer_capacity=args.buffer_cap,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir or "",
+            poll_interval_s=(args.poll_interval
+                             if args.poll_interval is not None else 0.05),
+            max_rounds=args.max_rounds or 0,
+        )
+        try:
+            service = Service(specs, sim_config, svc_config)
+        except (OSError, ValueError) as exc:
+            print(f"cannot start service: {exc}")
+            return 2
+        for stream in service.streams:
+            print(f"stream {stream.name:<12} {stream.spec.trace} "
+                  f"(policy {stream.spec.policy}, "
+                  f"budget {stream.spec.budget}/round)")
+    service.install_signal_handlers()
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(service)
+        if not args.no_http:
+            server = stack.enter_context(
+                ObsServer(service.snapshot, port=args.port)
+            )
+            print(f"live metrics  : {server.url}/metrics  "
+                  "(also /healthz, /snapshot.json)", flush=True)
+        results = service.run()
+    if service._stop_requested:
+        where = (f"; state checkpointed to {service.config.checkpoint_dir}"
+                 if service.config.checkpoint_every else
+                 " (no checkpointing configured - progress lost)")
+        print(f"stopped by signal at round {service.round}{where}")
+    print(f"rounds        : {service.round}"
+          + (f"  checkpoints: {service.checkpoints_written}"
+             if service.config.checkpoint_every else ""))
+    for name in sorted(results):
+        r = results[name]
+        print(f"{name:<14}: {r.benchmark}/{r.policy}  "
+              f"time {r.execution_time_s:.2f}s  "
+              f"promoted {r.promoted}  demoted {r.demoted}")
+    unfinished = [s.name for s in service.active_streams]
+    if unfinished:
+        print(f"unfinished    : {', '.join(sorted(unfinished))}")
+    if args.out:
+        payload = {
+            "rounds": service.round,
+            "checkpoints_written": service.checkpoints_written,
+            "unfinished": sorted(unfinished),
+            "streams": {
+                name: {
+                    "benchmark": r.benchmark,
+                    "policy": r.policy,
+                    "execution_time_s": r.execution_time_s,
+                    "app_time_s": r.app_time_s,
+                    "overhead_time_s": r.overhead_time_s,
+                    "migration_time_s": r.migration_time_s,
+                    "promoted": r.promoted,
+                    "demoted": r.demoted,
+                    "nr_pages_ddr": r.nr_pages_ddr,
+                    "nr_pages_cxl": r.nr_pages_cxl,
+                    "extra": r.extra,
+                }
+                for name, r in results.items()
+            },
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"service summary written to {args.out}")
     return 0
 
 
@@ -610,6 +778,11 @@ def cmd_verify(args) -> int:
             "policy": args.policy,
             "seed": args.seed,
         },
+        "resume": {
+            "bench": args.bench,
+            "policy": args.policy,
+            "seed": args.seed,
+        },
     }
     reports = run_all(names, **{n: overrides.get(n, {}) for n in names})
     failed = 0
@@ -664,8 +837,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered benchmarks")
 
-    def add_run_args(p, with_policy=True):
-        p.add_argument("--bench", required=True,
+    def add_run_args(p, with_policy=True, bench_required=True):
+        p.add_argument("--bench", required=bench_required,
                        help="benchmark name (see `list`)")
         if with_policy:
             p.add_argument("--policy", default="m5-hpt", choices=ALL_POLICIES)
@@ -726,7 +899,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "slo_breaches_total counter")
 
     run = sub.add_parser("run", help="run one benchmark under one policy")
-    add_run_args(run)
+    add_run_args(run, bench_required=False)
     add_migration_args(run)
     add_serve_args(run)
     add_record_args(run)
@@ -748,6 +921,61 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", default=None, metavar="FILE",
                      help="write pipeline-stage spans as chrome://tracing "
                           "JSON and print the flame table")
+    run.add_argument("--checkpoint", default=None, metavar="FILE",
+                     help="persist the full run state to FILE (atomically "
+                          "replaced) every --checkpoint-every epochs")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                     help="checkpoint cadence in epochs (0 disables; "
+                          "requires --checkpoint)")
+    run.add_argument("--resume", default=None, metavar="CKPT",
+                     help="resume a checkpointed run to completion; the "
+                          "result is bit-identical to the uninterrupted "
+                          "run (run-shape flags are ignored)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="streaming service daemon: multiplex N trace streams onto "
+             "the epoch engine with per-stream budgets, live metrics, "
+             "and checkpoint/resume",
+    )
+    serve.add_argument("--stream", action="append", default=[],
+                       metavar="NAME=TRACE[,policy=P][,budget=N]",
+                       help="add one stream fed from TRACE (v2 stream or "
+                            "v1 .npz); repeatable")
+    serve.add_argument("--chunk", type=int, default=16_384,
+                       help="engine epoch size in accesses")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--engine", default="batched",
+                       choices=("reference", "batched"),
+                       help="epoch hot-path implementation")
+    serve.add_argument("--buffer-cap", type=int, default=1 << 20,
+                       metavar="N",
+                       help="per-stream ingest buffer bound in addresses "
+                            "(a full buffer back-pressures ingestion)")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for periodic service checkpoints")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="R",
+                       help="checkpoint cadence in scheduler rounds "
+                            "(0 disables; requires --checkpoint-dir)")
+    serve.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume a checkpointed service; with sealed "
+                            "sources the results are bit-identical to an "
+                            "uninterrupted run")
+    serve.add_argument("--max-rounds", type=int, default=None, metavar="N",
+                       help="stop after N scheduler rounds (default: run "
+                            "until every stream finishes)")
+    serve.add_argument("--poll-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="idle sleep when every in-flight source has "
+                            "nothing new on disk")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="HTTP port for /metrics, /healthz, "
+                            "/snapshot.json (0 = ephemeral)")
+    serve.add_argument("--no-http", action="store_true",
+                       help="run without the live metrics endpoint")
+    serve.add_argument("--out", default=None, metavar="FILE",
+                       help="write the per-stream summary as JSON")
 
     compare = sub.add_parser("compare", help="compare policies")
     add_run_args(compare, with_policy=False)
@@ -858,7 +1086,8 @@ def build_parser() -> argparse.ArgumentParser:
              "PAC cache vs direct, instant vs async-unlimited migration)",
     )
     verify.add_argument("--oracles",
-                        default="sketch,pac,migration,engine,kernels,fleet",
+                        default="sketch,pac,migration,engine,kernels,fleet,"
+                                "resume",
                         help="comma-separated oracle names to run")
     verify.add_argument("--bench", default="mcf",
                         help="benchmark for the migration oracle")
@@ -886,6 +1115,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "list": cmd_list,
         "run": cmd_run,
+        "serve": cmd_serve,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "fleet": cmd_fleet,

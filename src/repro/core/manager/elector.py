@@ -26,32 +26,49 @@ from repro.core.manager.monitor import MonitorSample
 from repro.memory.tiers import NodeKind
 
 
-def power_fscale(n: float = 4.0) -> Callable[[float], float]:
-    """The paper's evaluation choice: ``y = x**n`` (n in 3..6)."""
-    if n <= 0:
-        raise ValueError("exponent must be positive")
+class _PowerFscale:
+    """``y = x**n`` as a picklable callable (checkpoints carry the
+    Elector, so its fscale cannot be a closure)."""
 
-    def fscale(x: float) -> float:
+    __slots__ = ("n",)
+
+    def __init__(self, n: float) -> None:
+        self.n = n
+
+    def __call__(self, x: float) -> float:
         if x <= 0:
             return 0.0
         if math.isinf(x):
             return float("inf")
-        return x**n
+        return x**self.n
 
-    return fscale
+
+class _ExpFscale:
+    """``y = n * exp(x)`` as a picklable callable."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: float) -> None:
+        self.n = n
+
+    def __call__(self, x: float) -> float:
+        if math.isinf(x):
+            return float("inf")
+        return self.n * math.exp(x)
+
+
+def power_fscale(n: float = 4.0) -> Callable[[float], float]:
+    """The paper's evaluation choice: ``y = x**n`` (n in 3..6)."""
+    if n <= 0:
+        raise ValueError("exponent must be positive")
+    return _PowerFscale(n)
 
 
 def exp_fscale(n: float = 1.0) -> Callable[[float], float]:
     """The alternative shape mentioned in §5.2: ``y = n * exp(x)``."""
     if n <= 0:
         raise ValueError("scale must be positive")
-
-    def fscale(x: float) -> float:
-        if math.isinf(x):
-            return float("inf")
-        return n * math.exp(x)
-
-    return fscale
+    return _ExpFscale(n)
 
 
 @dataclass

@@ -42,6 +42,13 @@ from repro.obs.metrics import MetricsRegistry
 
 SnapshotFn = Callable[[], Dict[str, object]]
 
+#: Errors meaning "the scraper's socket died under us" — a client
+#: disconnect is normal churn for a long-running service, never a
+#: server failure.  The handler must not try to answer on such a
+#: socket (the reply itself would raise out of the handler thread).
+_DISCONNECT_ERRORS = (BrokenPipeError, ConnectionResetError,
+                      ConnectionAbortedError)
+
 
 class _ObsHandler(BaseHTTPRequestHandler):
     """Routes one request; all state lives on ``server.obs_server``."""
@@ -74,6 +81,7 @@ class _ObsHandler(BaseHTTPRequestHandler):
                 payload = {
                     "status": "ok",
                     "scrapes": obs_server.scrapes,
+                    "disconnects": obs_server.disconnects,
                 }
                 obs_server.count_scrape(path)
                 self._respond(200, "application/json",
@@ -81,9 +89,20 @@ class _ObsHandler(BaseHTTPRequestHandler):
             else:
                 self._respond(404, "text/plain",
                               f"unknown path {path!r}\n".encode())
+        except _DISCONNECT_ERRORS:
+            # The scraper hung up mid-response.  The socket is dead:
+            # attempting the 500 reply below would just raise again
+            # and leak a traceback out of the handler thread.  Count
+            # it and move on; the server keeps serving.
+            obs_server.count_disconnect()
+            self.close_connection = True
         except Exception as exc:  # noqa: BLE001 - surface to the scraper
-            self._respond(500, "text/plain",
-                          f"snapshot failed: {exc}\n".encode())
+            try:
+                self._respond(500, "text/plain",
+                              f"snapshot failed: {exc}\n".encode())
+            except _DISCONNECT_ERRORS:
+                obs_server.count_disconnect()
+                self.close_connection = True
 
 
 class ObsServer:
@@ -118,6 +137,9 @@ class ObsServer:
         self.snapshot_tries = int(snapshot_tries)
         #: Served requests per endpoint path.
         self.scrapes: Dict[str, int] = {}
+        #: Scrapers that hung up mid-response (normal churn for a
+        #: long-running service; counted, never raised).
+        self.disconnects = 0
         self._httpd: Optional[HTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -137,6 +159,9 @@ class ObsServer:
 
     def count_scrape(self, path: str) -> None:
         self.scrapes[path] = self.scrapes.get(path, 0) + 1
+
+    def count_disconnect(self) -> None:
+        self.disconnects += 1
 
     @property
     def running(self) -> bool:

@@ -6,7 +6,9 @@ from repro.sim.config import FleetConfig, SimConfig
 from repro.sim.engine import (
     ALL_POLICIES,
     BASELINE_POLICIES,
+    CHECKPOINT_FORMAT_VERSION,
     M5_POLICIES,
+    CheckpointError,
     M5Options,
     RunResult,
     Simulation,
@@ -36,6 +38,8 @@ __all__ = [
     "SimConfig",
     "ALL_POLICIES",
     "BASELINE_POLICIES",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
     "M5_POLICIES",
     "M5Options",
     "RunResult",

@@ -140,6 +140,14 @@ class SimConfig:
     #: p99, invariant violations, bandwidth starvation), else a path
     #: to a JSON rule file (see :mod:`repro.obs.slo`).
     slo_rules: str = ""
+    #: Persist the full simulation state every this many epochs
+    #: (0 disables checkpointing entirely — the seed pipeline).
+    #: Resuming from a checkpoint reproduces the uninterrupted run
+    #: bit-identically (the ``resume`` oracle in :mod:`repro.verify`).
+    checkpoint_every: int = 0
+    #: Destination file for periodic checkpoints (atomically replaced
+    #: on every write).  Required when ``checkpoint_every > 0``.
+    checkpoint_path: str = ""
     seed: int = 0
     checkpoints: int = 10
     pages_per_gb: int = PAGES_PER_GB
@@ -180,6 +188,12 @@ class SimConfig:
             raise ValueError("serve_port must be a TCP port (0-65535)")
         if self.record_epochs < 1:
             raise ValueError("record_epochs must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise ValueError(
+                "checkpoint_every > 0 requires a checkpoint_path"
+            )
         # Two scale-down factors relate the model to the real system:
         #
         # * footprint_scale — each model page groups this many real

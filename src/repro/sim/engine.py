@@ -62,6 +62,9 @@ queue's behaviour).  Instant mode stays the default.
 
 from __future__ import annotations
 
+import contextlib
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -116,6 +119,15 @@ from repro.workloads.base import SyntheticWorkload
 BASELINE_POLICIES = ("none", "anb", "damon", "tpp", "pte-scan", "pebs")
 M5_POLICIES = ("m5-hpt", "m5-hwt", "m5-hpt+hwt")
 ALL_POLICIES = BASELINE_POLICIES + M5_POLICIES
+
+#: On-disk checkpoint format.  Bumped whenever the pickled state's
+#: shape changes incompatibly; ``load_state`` refuses other versions
+#: rather than resuming from state it would misinterpret.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or read back."""
 
 
 @dataclass
@@ -326,6 +338,17 @@ class Simulation:
         self.async_engine: Optional[AsyncMigrationEngine] = None
         self._write_rng = None
         self._promoter_dropped_prev = 0
+        #: Replay workloads count wrap-arounds; the engine surfaces
+        #: the total (RunResult.extra + replay.wrap telemetry) so a
+        #: truncated capture never replays silently as periodic.
+        self._tracks_wraps = hasattr(workload, "wraps")
+        self._replay_wraps_prev = 0
+        #: Epoch state restored by :meth:`load_state`; ``run`` resumes
+        #: from it instead of starting fresh.
+        self._resume_state: Optional[_EpochState] = None
+        #: Checkpoints written over the simulation's lifetime
+        #: (survives resume — the count keeps climbing).
+        self.checkpoints_written = 0
         if self.config.migration_mode == "async":
             self.async_engine = AsyncMigrationEngine(
                 self.engine,
@@ -413,6 +436,15 @@ class Simulation:
                 )
             self.stages += (self._stage_record,)
             self._stage_names += ("record",)
+        #: Periodic state persistence (checkpoint/resume): every
+        #: ``checkpoint_every`` epochs the full simulation state is
+        #: pickled atomically to ``checkpoint_path``.  Appended last so
+        #: a checkpoint always captures a fully-finished epoch — and,
+        #: like the other optional stages, the disabled path stays
+        #: exactly the frozen golden sequence.
+        if self.config.checkpoint_every > 0 and self.config.checkpoint_path:
+            self.stages += (self._stage_persist,)
+            self._stage_names += ("persist",)
         self._register_engine_metrics()
         self.result: Optional[RunResult] = None
 
@@ -580,6 +612,18 @@ class Simulation:
         st.remaining -= take
         st.chunk = self.workload.chunk(take)
         st.lpages = (st.chunk >> np.uint64(PAGE_SHIFT)).astype(np.int64)
+        if self._tracks_wraps:
+            wraps = self.workload.wraps
+            if wraps > self._replay_wraps_prev:
+                if self.telemetry.active:
+                    self.telemetry.publish(
+                        "replay.wrap",
+                        st.epoch,
+                        st.now_s,
+                        wraps=wraps - self._replay_wraps_prev,
+                        total_wraps=wraps,
+                    )
+                self._replay_wraps_prev = wraps
         if self.async_engine is not None:
             # Later stages (Promoter, the tick) tag queue entries with
             # the current epoch; deltas feed the enqueue telemetry.
@@ -808,11 +852,104 @@ class Simulation:
         if self.telemetry.active:
             self.telemetry.publish("ratio", st.epoch, st.now_s, ratio=ratio)
 
+    def _stage_persist(self, policy: EpochPolicy, st: _EpochState) -> None:
+        """Checkpoint the full simulation state every K epochs."""
+        if st.epoch % self.config.checkpoint_every != 0:
+            return
+        self.save_state(self.config.checkpoint_path, st)
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+
+    def save_state(self, path: "str | os.PathLike", st: _EpochState) -> None:
+        """Serialise the complete run state for a later bit-identical
+        resume.
+
+        One pickle captures the whole object graph — workload RNGs,
+        tiers and page maps, trackers, MGLRU, the async migration
+        queue, the performance model's running totals, the telemetry
+        ring, the metrics registry, and the epoch state — so every
+        cross-reference (the policy's view of the tiers, the
+        controller's attached trackers) survives intact.  The write is
+        atomic (tmp + ``os.replace``): a crash mid-checkpoint leaves
+        the previous checkpoint, never a torn file.
+
+        Checkpointing a run with *tracing* enabled is refused: spans
+        hold wall-clock state that cannot meaningfully resume.  The
+        metrics registry, by contrast, checkpoints fine — counters
+        continue exactly where they stopped.
+        """
+        if self.obs.tracing_on:
+            raise CheckpointError(
+                "cannot checkpoint a run with tracing enabled; spans "
+                "hold wall-clock state that does not resume (metrics "
+                "and telemetry checkpoint fine)"
+            )
+        # Deliberately no telemetry event: checkpointing must leave
+        # the run's observable results (timeline, metrics, RunResult)
+        # bit-identical to a run without it, so a resumed run can be
+        # compared against *any* uninterrupted twin.  Cadence is
+        # visible via :attr:`checkpoints_written` instead.
+        self.checkpoints_written += 1
+        payload = {
+            "format": CHECKPOINT_FORMAT_VERSION,
+            "benchmark": self.workload.spec.name,
+            "policy": self.policy_name,
+            "epoch": st.epoch,
+            "sim": self,
+            "epoch_state": st,
+        }
+        path = os.fspath(path)
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            with contextlib.suppress(OSError):
+                os.remove(tmp)
+            raise
+
+    @classmethod
+    def load_state(cls, path: "str | os.PathLike") -> "Simulation":
+        """Rehydrate a checkpointed simulation, ready to :meth:`run`.
+
+        The returned simulation continues from the checkpointed epoch;
+        running it to completion produces a ``RunResult`` (timeline
+        and metrics included) bit-identical to the uninterrupted run
+        — the ``resume`` oracle in ``repro verify`` enforces exactly
+        this.
+        """
+        with open(os.fspath(path), "rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict) or "sim" not in payload:
+            raise CheckpointError(f"{path} is not a simulation checkpoint")
+        version = payload.get("format")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format {version!r} is not supported "
+                f"(this build reads format {CHECKPOINT_FORMAT_VERSION}); "
+                "re-create the checkpoint with this version"
+            )
+        sim: "Simulation" = payload["sim"]
+        sim._resume_state = payload["epoch_state"]
+        return sim
+
+    @property
+    def resumed_epoch(self) -> Optional[int]:
+        """Epoch the pending resume starts after (None = fresh run)."""
+        if self._resume_state is None:
+            return None
+        return self._resume_state.epoch
+
     # ------------------------------------------------------------------
 
     def run(self) -> RunResult:
         policy = self.epoch_policy
-        st = self._initial_state()
+        if self._resume_state is not None:
+            st, self._resume_state = self._resume_state, None
+        else:
+            st = self._initial_state()
         if self.obs.enabled:
             self._run_instrumented(policy, st)
         else:
@@ -850,6 +987,11 @@ class Simulation:
         if policy is None:
             policy = self.epoch_policy
         st.epoch += 1
+        # No-op with observability off; with it on, externally driven
+        # runs (fleet tenants, service streams) must count epochs the
+        # same way the instrumented run loop does, or a checkpoint
+        # taken under one driver diverges from the other.
+        self._m_epochs.inc()
         for stage in self.stages:
             stage(policy, st)
 
@@ -900,6 +1042,8 @@ class Simulation:
             self.result.extra["slo_breaches"] = float(
                 self.watchdog.breaches_total
             )
+        if self._tracks_wraps:
+            self.result.extra["replay_wraps"] = float(self.workload.wraps)
         if self.obs.metrics_on:
             self.result.metrics = self.obs.snapshot()
         return self.result

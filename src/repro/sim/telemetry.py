@@ -92,6 +92,14 @@ class JsonlSink(TelemetrySink):
     :meth:`close`), so a run that crashes mid-flight still leaves a
     usable timeline on disk instead of a page of buffered-and-lost
     events.  ``flush_every=0`` disables periodic flushing.
+
+    A path-backed sink survives close/re-emit cycles: the first open
+    truncates (``"w"``), every reopen *appends* (``"a"``), so a
+    resumed run extends the timeline it left on disk instead of
+    destroying it.  For the same reason the sink pickles (checkpoints
+    carry the telemetry bus): the file handle is dropped and the next
+    emit reopens in append mode.  Sinks wrapping an externally-owned
+    file object cannot be pickled.
     """
 
     def __init__(
@@ -102,6 +110,9 @@ class JsonlSink(TelemetrySink):
         self._path: Optional[Union[str, bytes]] = None
         self._fh: Optional[IO[str]] = None
         self._owns_fh = False
+        #: True once the path was opened (and truncated) at least
+        #: once; reopens after that must append, never truncate.
+        self._opened_once = False
         self.flush_every = int(flush_every)
         self._emitted = 0
         if isinstance(path_or_file, (str, bytes)):
@@ -116,8 +127,9 @@ class JsonlSink(TelemetrySink):
     def emit(self, event: Event) -> None:
         if self._fh is None:
             assert self._path is not None
-            self._fh = open(self._path, "w")
+            self._fh = open(self._path, "a" if self._opened_once else "w")
             self._owns_fh = True
+            self._opened_once = True
         self._fh.write(json.dumps(event) + "\n")
         self._emitted += 1
         if self.flush_every and self._emitted % self.flush_every == 0:
@@ -130,6 +142,22 @@ class JsonlSink(TelemetrySink):
             self._owns_fh = False
         elif self._fh is not None:
             self._fh.flush()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        if self._path is None:
+            raise TypeError(
+                "cannot pickle a JsonlSink wrapping an external file "
+                "object; construct it from a path to make it "
+                "checkpointable"
+            )
+        if self._fh is not None:
+            self._fh.flush()
+        state = self.__dict__.copy()
+        # The handle is process-local; the restored sink reopens the
+        # path lazily in append mode (``_opened_once`` survives).
+        state["_fh"] = None
+        state["_owns_fh"] = False
+        return state
 
 
 def read_jsonl(path: str) -> List[Event]:

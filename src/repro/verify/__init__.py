@@ -31,6 +31,7 @@ from repro.verify.differential import (
     kernels_oracle,
     migration_oracle,
     pac_oracle,
+    resume_oracle,
     run_all,
     sketch_oracle,
 )
@@ -55,5 +56,6 @@ __all__ = [
     "engine_oracle",
     "fleet_oracle",
     "kernels_oracle",
+    "resume_oracle",
     "run_all",
 ]

@@ -581,6 +581,106 @@ def fleet_oracle(
     return report
 
 
+# ----------------------------------------------------------------------
+# oracle 7: uninterrupted vs checkpoint-resumed run (bit-exact)
+
+#: Metric families recording wall-clock rather than simulated state;
+#: they can never be bit-identical across process boundaries and are
+#: excluded from resume-identity comparisons.
+WALL_CLOCK_FAMILIES = frozenset({"pipeline_stage_seconds"})
+
+
+def _metric_mismatches(a: Dict[str, Any], b: Dict[str, Any]) -> int:
+    """Families whose samples differ, ignoring wall-clock recorders."""
+    fa = {m["name"]: m for m in a.get("metrics", [])
+          if m["name"] not in WALL_CLOCK_FAMILIES}
+    fb = {m["name"]: m for m in b.get("metrics", [])
+          if m["name"] not in WALL_CLOCK_FAMILIES}
+    return sum(1 for name in sorted(set(fa) | set(fb))
+               if fa.get(name) != fb.get(name))
+
+
+def resume_oracle(
+    bench: str = "mcf",
+    policy: str = "m5-hpt",
+    seed: int = 1,
+    accesses: int = 200_000,
+    chunk: int = 16_384,
+    checkpoint_every: int = 5,
+) -> OracleReport:
+    """Uninterrupted run vs checkpoint-load-resume, zero tolerance.
+
+    For each epoch engine, one checkpointed run executes to
+    completion; the checkpoint file it leaves behind is the *last
+    periodic snapshot* (several epochs before the end, since the
+    cadence does not divide the epoch count).  Loading that snapshot
+    and running the tail again must reproduce the uninterrupted
+    result bit-identically — every ``RunResult`` field, the full
+    telemetry timeline, and the metrics-registry snapshot (modulo
+    wall-clock recorders, which measure the process, not the
+    simulation).
+    """
+    import os
+    import tempfile
+
+    from repro.obs import Observability
+
+    report = OracleReport(
+        "resume",
+        f"{bench}/{policy}: uninterrupted vs checkpoint-resumed run "
+        "(bit-exact)",
+    )
+    for engine in ("reference", "batched"):
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt = os.path.join(tmp, f"{engine}.ckpt")
+            cfg = SimConfig(
+                total_accesses=accesses,
+                chunk_size=chunk,
+                checkpoints=2,
+                seed=seed,
+                engine=engine,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=ckpt,
+            )
+            sim = Simulation(
+                registry.build(bench, seed=seed), cfg, policy=policy,
+                obs=Observability(metrics=True, tracing=False),
+            )
+            full = sim.run()
+            resumed_sim = Simulation.load_state(ckpt)
+            resumed_at = resumed_sim.resumed_epoch or 0
+            resumed = resumed_sim.run()
+        rows = diff_run_results(full, resumed, tolerances={})
+        for row in rows:
+            row.field = f"{engine}_{row.field}"
+        report.rows.extend(rows)
+        report.add(f"{engine}_overhead_time_s",
+                   full.overhead_time_s, resumed.overhead_time_s)
+        report.add(f"{engine}_migration_time_s",
+                   full.migration_time_s, resumed.migration_time_s)
+        report.add(
+            f"{engine}_hot_pfn_mismatches", 0,
+            sum(x != y for x, y in zip(full.hot_pfns, resumed.hot_pfns))
+            + abs(len(full.hot_pfns) - len(resumed.hot_pfns)),
+        )
+        report.add(
+            f"{engine}_timeline_mismatches", 0,
+            sum(x != y for x, y in zip(full.timeline, resumed.timeline))
+            + abs(len(full.timeline) - len(resumed.timeline)),
+        )
+        report.add(f"{engine}_metric_mismatches", 0,
+                   _metric_mismatches(full.metrics, resumed.metrics))
+        # The resume must actually re-run a tail, or the oracle
+        # proves nothing: the cadence is chosen not to divide the
+        # epoch count.
+        report.add(f"{engine}_epochs_rerun",
+                   cfg.num_epochs - resumed_at,
+                   cfg.num_epochs - resumed_at, tolerance=0.0)
+        if cfg.num_epochs - resumed_at <= 0:
+            report.add(f"{engine}_tail_nonempty", 1, 0)
+    return report
+
+
 #: The registry the CLI and ``tools/run_differential.py`` iterate.
 ORACLES = {
     "sketch": sketch_oracle,
@@ -589,6 +689,7 @@ ORACLES = {
     "engine": engine_oracle,
     "kernels": kernels_oracle,
     "fleet": fleet_oracle,
+    "resume": resume_oracle,
 }
 
 

@@ -32,8 +32,14 @@ from repro.workloads.zipf import (
 )
 from repro.workloads.traceio import (
     ReplayWorkload,
+    TraceCorruptError,
+    TraceExhausted,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
     capture,
     load_trace,
+    record,
     save_trace,
 )
 from repro.workloads.ycsb import SlabAllocator, YcsbMix, YcsbWorkload
@@ -73,12 +79,18 @@ __all__ = [
     "uniform_popularity",
     "zipf_popularity",
     "ReplayWorkload",
+    "TraceCorruptError",
+    "TraceExhausted",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceWriter",
     "SlabAllocator",
     "YcsbMix",
     "YcsbWorkload",
     "gap_exec",
     "capture",
     "load_trace",
+    "record",
     "save_trace",
     "registry",
     "MEMORY_INTENSIVE",

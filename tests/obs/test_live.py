@@ -98,6 +98,73 @@ class TestEndpoints:
         assert err.value.code == 500
 
 
+class TestScraperDisconnect:
+    """Regression: a scraper hanging up mid-response killed the
+    handler thread with an unhandled ``BrokenPipeError``/
+    ``ConnectionResetError`` traceback.  A client disconnect is normal
+    churn for a long-running service — the server must swallow it,
+    count it, and keep serving."""
+
+    @staticmethod
+    def big_source():
+        # A multi-megabyte exposition guarantees the response cannot
+        # fit in the kernel socket buffers, so the handler is still
+        # mid-write when the scraper's reset lands.
+        reg = MetricsRegistry()
+        fam = reg.counter("wide_total", "Many series", labels=("k",))
+        for i in range(4000):
+            fam.labels(k=f"series-{i:04d}-" + "x" * 500).inc(i)
+        return reg
+
+    @staticmethod
+    def abort_scrape(host, port, path="/metrics"):
+        """Start a scrape, then slam the connection shut (RST)."""
+        import socket
+        import struct
+
+        sock = socket.create_connection((host, port), timeout=5)
+        try:
+            # Tiny receive window + linger-0 close: the server blocks
+            # writing the body, then gets a hard reset.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+            sock.sendall(
+                f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+        finally:
+            sock.close()
+
+    def wait_for(self, predicate, timeout_s=10.0):
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.02)
+        return predicate()
+
+    def test_server_survives_early_disconnect(self):
+        with ObsServer(self.big_source()) as server:
+            self.abort_scrape(server.host, server.port)
+            assert self.wait_for(lambda: server.disconnects >= 1), \
+                "handler never registered the scraper disconnect"
+            # The server must still answer the next scraper.
+            health = json.loads(get(server.url + "/healthz"))
+            assert server.running
+        assert health["status"] == "ok"
+        assert health["disconnects"] >= 1
+
+    def test_disconnects_survive_repeated_abuse(self):
+        with ObsServer(self.big_source()) as server:
+            for _ in range(3):
+                self.abort_scrape(server.host, server.port)
+            assert self.wait_for(lambda: server.disconnects >= 3)
+            body = get(server.url + "/metrics")
+            assert b"wide_total" in body
+            assert server.running
+
+
 class TestLifecycle:
     def test_ephemeral_port_is_published(self):
         server = ObsServer(make_registry())

@@ -161,6 +161,64 @@ class TestJsonlSink:
             assert not fh.closed
         assert len(read_jsonl(str(path))) == 1
 
+    def test_emit_after_close_appends(self, tmp_path):
+        """Regression: a close/re-emit cycle must not truncate.
+
+        The sink used to reopen its path with mode "w" on the emit
+        after a close, silently destroying every event written before
+        — fatal for any long-running service that closes sinks between
+        sessions.  The reopen must append.
+        """
+        path = str(tmp_path / "long_run.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"stage": "epoch", "epoch": 1, "t_s": 0.1})
+        sink.emit({"stage": "epoch", "epoch": 2, "t_s": 0.2})
+        sink.close()
+        sink.emit({"stage": "epoch", "epoch": 3, "t_s": 0.3})
+        sink.close()
+        events = read_jsonl(path)
+        assert [e["epoch"] for e in events] == [1, 2, 3]
+
+    def test_repeated_close_reopen_cycles_keep_appending(self, tmp_path):
+        path = str(tmp_path / "cycles.jsonl")
+        sink = JsonlSink(path)
+        for epoch in range(5):
+            sink.emit({"stage": "epoch", "epoch": epoch, "t_s": 0.0})
+            sink.close()
+        assert [e["epoch"] for e in read_jsonl(path)] == list(range(5))
+
+    def test_first_open_still_truncates_stale_file(self, tmp_path):
+        # Append-on-reopen must not turn into append-always: a fresh
+        # sink pointed at a leftover file starts a fresh timeline.
+        path = tmp_path / "stale.jsonl"
+        path.write_text('{"stage": "old", "epoch": 99, "t_s": 0.0}\n')
+        sink = JsonlSink(str(path))
+        sink.emit({"stage": "epoch", "epoch": 1, "t_s": 0.0})
+        sink.close()
+        assert [e["epoch"] for e in read_jsonl(str(path))] == [1]
+
+    def test_pickle_roundtrip_resumes_in_append_mode(self, tmp_path):
+        """A checkpointed sink must extend its file, not restart it."""
+        import pickle
+
+        path = str(tmp_path / "ckpt.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"stage": "epoch", "epoch": 1, "t_s": 0.0})
+        blob = pickle.dumps(sink)
+        sink.close()
+        restored = pickle.loads(blob)
+        restored.emit({"stage": "epoch", "epoch": 2, "t_s": 0.1})
+        restored.close()
+        assert [e["epoch"] for e in read_jsonl(path)] == [1, 2]
+
+    def test_pickle_rejects_externally_owned_file(self, tmp_path):
+        import pickle
+
+        with open(tmp_path / "ext.jsonl", "w") as fh:
+            sink = JsonlSink(fh)
+            with pytest.raises(TypeError):
+                pickle.dumps(sink)
+
 
 class TestEngineTimeline:
     def test_run_result_has_epoch_timeline(self):

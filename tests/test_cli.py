@@ -179,11 +179,118 @@ class TestHwcost:
         assert "33.6x area" in out
 
 
+class TestRunCheckpointResume:
+    def test_checkpoint_then_resume_reproduces_summary(
+        self, capsys, tmp_path
+    ):
+        ckpt = tmp_path / "run.ckpt"
+        rc = main([
+            "run", "--bench", "mcf", "--policy", "m5-hpt",
+            "--accesses", "200000", "--chunk", "20000",
+            "--checkpoint", str(ckpt), "--checkpoint-every", "3",
+        ])
+        assert rc == 0
+        full = capsys.readouterr().out
+        assert "checkpoints   : 3 written" in full
+        assert ckpt.exists()
+
+        rc = main(["run", "--resume", str(ckpt)])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        assert "resuming from" in resumed
+        # The resumed tail lands on the uninterrupted run's summary,
+        # line for line.
+        for key in ("execution time", "promoted", "DDR/CXL pages"):
+            (line,) = [l for l in full.splitlines() if l.startswith(key)]
+            assert line in resumed
+
+    def test_resume_missing_file_errors(self, capsys, tmp_path):
+        assert main(["run", "--resume", str(tmp_path / "no.ckpt")]) == 2
+        assert "cannot resume" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    @staticmethod
+    def make_traces(tmp_path):
+        from repro.workloads import record, uniform_workload
+
+        p1 = record(uniform_workload(footprint_pages=2048, seed=41),
+                    8 * 4096, tmp_path / "a.rtrace", chunk_size=4096)
+        p2 = record(uniform_workload(footprint_pages=2048, seed=42),
+                    6 * 4096, tmp_path / "b.rtrace", chunk_size=4096)
+        return p1, p2
+
+    def serve(self, *argv):
+        return main(["serve", "--chunk", "4096", "--no-http", *argv])
+
+    def test_serve_two_streams_to_completion(self, capsys, tmp_path):
+        import json
+
+        p1, p2 = self.make_traces(tmp_path)
+        out = tmp_path / "serve.json"
+        rc = self.serve(
+            "--stream", f"a={p1}",
+            "--stream", f"b={p2},policy=anb,budget=8192",
+            "--out", str(out),
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "rounds" in text
+        payload = json.loads(out.read_text())
+        assert payload["unfinished"] == []
+        assert set(payload["streams"]) == {"a", "b"}
+        assert payload["streams"]["b"]["policy"] == "anb"
+
+    def test_serve_kill_resume_matches_uninterrupted(self, capsys, tmp_path):
+        import json
+
+        p1, p2 = self.make_traces(tmp_path)
+        streams = [
+            "--stream", f"a={p1},budget=8192",
+            "--stream", f"b={p2},budget=4096",
+        ]
+        base_out = tmp_path / "base.json"
+        assert self.serve(*streams, "--out", str(base_out)) == 0
+
+        ckpt_dir = tmp_path / "ckpt"
+        part_out = tmp_path / "part.json"
+        rc = self.serve(
+            *streams, "--checkpoint-dir", str(ckpt_dir),
+            "--checkpoint-every", "1", "--max-rounds", "2",
+            "--out", str(part_out),
+        )
+        assert rc == 0
+        assert json.loads(part_out.read_text())["streams"] == {}
+
+        res_out = tmp_path / "res.json"
+        rc = main(["serve", "--no-http", "--resume", str(ckpt_dir),
+                   "--max-rounds", "0", "--out", str(res_out)])
+        assert rc == 0
+        capsys.readouterr()
+        base = json.loads(base_out.read_text())
+        res = json.loads(res_out.read_text())
+        assert res["unfinished"] == []
+        assert res["streams"] == base["streams"]
+
+    def test_serve_requires_streams(self, capsys):
+        assert main(["serve", "--no-http"]) == 2
+        assert "--stream" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_stream_spec(self, capsys, tmp_path):
+        assert self.serve("--stream", "just-a-name") == 2
+        assert "NAME=TRACE" in capsys.readouterr().out
+        assert self.serve("--stream", "a=t.rtrace,policy=bogus") == 2
+        assert "unknown policy" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
 
-    def test_run_requires_bench(self):
-        with pytest.raises(SystemExit):
-            main(["run"])
+    def test_run_requires_bench(self, capsys):
+        # --bench became optional at parse time (a --resume run takes
+        # everything from the checkpoint), so the check is a runtime
+        # error with the CLI's usual exit code.
+        assert main(["run"]) == 2
+        assert "--bench is required" in capsys.readouterr().out

@@ -23,6 +23,12 @@ A ``recorder`` leg runs with ``record_series="default"`` (the per-epoch
 time-series ring recorder stage enabled) under the standard tolerance:
 recording, too, must stay within budget and bit-identical.
 
+A ``checkpoint`` leg runs with ``checkpoint_every`` on (periodic
+full-state snapshots to disk) under the standard tolerance, and its
+results must be bit-identical to the plain leg: checkpointing off is
+the plain leg itself, so this gate pins both halves of the contract —
+off costs nothing, on stays within budget and never perturbs.
+
 Usage::
 
     PYTHONPATH=src python tools/check_overhead.py [--tolerance 0.05]
@@ -34,6 +40,7 @@ import argparse
 import os
 import statistics
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -42,20 +49,22 @@ from repro.obs import Observability  # noqa: E402
 from repro.sim import SimConfig, Simulation  # noqa: E402
 from repro.workloads import registry  # noqa: E402
 
-#: (leg name, observability factory, check_invariants, record)
+#: (leg name, observability factory, check_invariants, record, checkpoint)
 LEGS = (
-    ("plain", lambda: None, False, False),
+    ("plain", lambda: None, False, False, False),
     ("metrics", lambda: Observability(metrics=True, tracing=False), False,
-     False),
-    ("metrics+tracing", lambda: Observability(metrics=True, tracing=True),
      False, False),
-    ("invariants", lambda: None, True, False),
+    ("metrics+tracing", lambda: Observability(metrics=True, tracing=True),
+     False, False, False),
+    ("invariants", lambda: None, True, False, False),
     ("recorder", lambda: Observability(metrics=True, tracing=False), False,
-     True),
+     True, False),
+    ("checkpoint", lambda: None, False, False, True),
 )
 
 
-def one_run(args, obs, check_invariants=False, record=False):
+def one_run(args, obs, check_invariants=False, record=False,
+            checkpoint=False):
     workload = registry.build(args.bench, seed=args.seed)
     config = SimConfig(
         total_accesses=args.accesses,
@@ -64,6 +73,10 @@ def one_run(args, obs, check_invariants=False, record=False):
         checkpoints=1,
         check_invariants=check_invariants,
         record_series="default" if record else "",
+        checkpoint_every=args.checkpoint_every if checkpoint else 0,
+        checkpoint_path=(os.path.join(tempfile.gettempdir(),
+                                      f"overhead_gate_{os.getpid()}.ckpt")
+                         if checkpoint else ""),
     )
     sim = Simulation(workload, config, policy=args.policy, obs=obs)
     start = time.perf_counter()
@@ -89,16 +102,20 @@ def main() -> int:
     parser.add_argument("--invariant-tolerance", type=float, default=0.10,
                         help="allowed relative slowdown of the "
                              "check-invariants leg")
+    parser.add_argument("--checkpoint-every", type=int, default=5,
+                        help="checkpoint cadence (epochs) for the "
+                             "checkpoint leg")
     args = parser.parse_args()
 
-    times = {name: [] for name, _, _, _ in LEGS}
+    times = {name: [] for name, _, _, _, _ in LEGS}
     results = {}
     last_obs = {}
     # warm-up: first run pays numpy/import costs, charged to no leg
     one_run(args, None)
     for _ in range(args.repeats):
-        for name, make_obs, check, record in LEGS:
-            elapsed, result, obs = one_run(args, make_obs(), check, record)
+        for name, make_obs, check, record, checkpoint in LEGS:
+            elapsed, result, obs = one_run(args, make_obs(), check, record,
+                                           checkpoint)
             times[name].append(elapsed)
             results[name] = result
             last_obs[name] = obs
@@ -107,7 +124,7 @@ def main() -> int:
     base = medians["plain"]
     print(f"{'leg':>16s}  {'median_s':>9s}  {'vs plain':>9s}")
     failed = []
-    for name, _, _, _ in LEGS:
+    for name, _, _, _, _ in LEGS:
         tolerance = (args.invariant_tolerance if name == "invariants"
                      else args.tolerance)
         limit = base * (1.0 + tolerance) + args.slack_s
@@ -117,7 +134,8 @@ def main() -> int:
             failed.append(name)
 
     plain = results["plain"]
-    for name in ("metrics", "metrics+tracing", "invariants", "recorder"):
+    for name in ("metrics", "metrics+tracing", "invariants", "recorder",
+                 "checkpoint"):
         r = results[name]
         if (r.execution_time_s != plain.execution_time_s
                 or r.promoted != plain.promoted
