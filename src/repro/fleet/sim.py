@@ -53,7 +53,7 @@ from repro.obs import (
     parse_series_spec,
 )
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
-from repro.obs.tracing import SpanRecord
+from repro.obs.tracing import SimClock, SpanRecord
 from repro.sim.config import FleetConfig, SimConfig
 from repro.sim.engine import M5Options, RunResult, Simulation
 from repro.sim.perf import bandwidth_shares, contention_factors
@@ -458,7 +458,7 @@ class FleetSimulation:
         for sim, st in zip(sims, states):
             tracer = sim.obs.tracer if sim.obs.tracing_on else None
             if tracer is not None:
-                tracer.sim_clock = lambda s=st: s.now_s
+                tracer.sim_clock = SimClock(st)
             tracers.append(tracer)
         multi = self.fleet.tenants > 1
         demands: Optional[List[List[float]]] = None

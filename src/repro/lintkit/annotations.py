@@ -1,0 +1,87 @@
+"""``lint: torn-safe`` annotations — the lock-free contract marker.
+
+A torn-safe annotation declares that one specific shared-state write
+is *deliberately* unsynchronised: the value is a single float/int
+whose torn reads are stale-but-never-corrupt, or a monotone counter
+where any observed value is a valid (if slightly old) observation.
+The CONC rules (:mod:`repro.lintkit.rules.concurrency`) exempt
+annotated writes instead of flagging them — the annotation encodes
+the design (``obs/live.py``'s lock-free ObsServer counters) rather
+than silencing the analyzer.
+
+Placement follows the suppression grammar: trailing on the write
+line::
+
+    self.disconnects += 1  # lint: torn-safe -- monotone counter
+
+or standalone on a comment line directly above it.  Anything after
+the tag (e.g. an ``--`` explanation) is free-form, and only real
+comments count — the file is tokenized, so the tag inside a string is
+ignored.
+
+The annotation is *checked*: one that never exempts a CONC finding is
+itself flagged (``CONC004``), exactly like a stale ``lint: disable=``
+suppression, so the declared lock-free surface can only shrink when
+the code does.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.lintkit.suppressions import attach_comment, tagged_comments
+
+#: The tag itself; free-form prose may follow.
+_TORN_SAFE_RE = re.compile(r"#\s*lint:\s*torn-safe\b")
+
+
+@dataclass
+class TornSafeEntry:
+    """One torn-safe annotation comment."""
+
+    comment_line: int  #: line the comment itself is on (1-based)
+    target_line: int  #: line of the write it annotates
+    used: bool = field(default=False)
+
+
+class TornSafeAnnotations:
+    """All torn-safe annotations of one source file."""
+
+    def __init__(self, source: str):
+        self.entries: List[TornSafeEntry] = []
+        self._by_line: Dict[int, List[TornSafeEntry]] = {}
+        lines = source.splitlines()
+        for line, standalone, _match in tagged_comments(source, _TORN_SAFE_RE):
+            entry = TornSafeEntry(line, attach_comment(line, standalone, lines))
+            self.entries.append(entry)
+            self._by_line.setdefault(entry.target_line, []).append(entry)
+
+    def expand(self, stmt_spans: Dict[int, int]) -> None:
+        """Extend entries over multi-line statements (same contract as
+        :meth:`~repro.lintkit.suppressions.FileSuppressions.expand`)."""
+        for entry in list(self.entries):
+            end = stmt_spans.get(entry.target_line)
+            if end is None:
+                continue
+            for line in range(entry.target_line + 1, end + 1):
+                self._by_line.setdefault(line, []).append(entry)
+
+    def consume(self, line: int) -> bool:
+        """True (and mark used) if a torn-safe annotation covers
+        ``line``."""
+        entries = self._by_line.get(line, [])
+        for entry in entries:
+            entry.used = True
+        return bool(entries)
+
+    def unused(self) -> List[TornSafeEntry]:
+        return [e for e in self.entries if not e.used]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def find_torn_safe(source: str) -> TornSafeAnnotations:
+    return TornSafeAnnotations(source)

@@ -1,0 +1,89 @@
+"""``--changed``: restrict findings to lines touched since a git ref.
+
+CI gates *new-code* findings with this: the full run still reports
+everything, but the gating pass drops findings on lines an open PR
+did not touch, so a rule rollout never blocks unrelated work.  The
+scope comes from ``git diff --unified=0 <ref>`` — zero context, so a
+hunk's ``+c,d`` range is exactly the added/modified lines.
+
+Project-scope findings follow the same contract: a CRASH002
+ordering finding only gates if the ``os.replace`` line it points at
+is part of the diff.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from typing import Dict, Set
+
+from repro.lintkit.engine import LintResult
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+class DiffScopeError(RuntimeError):
+    """``git diff`` could not produce a change scope."""
+
+
+def changed_lines(root: str, ref: str) -> Dict[str, Set[int]]:
+    """``{relative path: changed line numbers}`` versus ``ref``.
+
+    Only lines present on the *new* side count (pure deletions cannot
+    carry findings).  Raises :class:`DiffScopeError` when git is
+    unavailable or the ref does not resolve.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--unified=0", "--no-color", ref, "--", "*.py"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as exc:  # git binary missing
+        raise DiffScopeError(f"cannot run git diff: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        raise DiffScopeError(
+            f"git diff against {ref!r} failed: "
+            f"{detail[0] if detail else proc.returncode}"
+        )
+    scope: Dict[str, Set[int]] = {}
+    current: Set[int] = set()
+    for line in proc.stdout.splitlines():
+        if line.startswith("+++ "):
+            path = line[4:].strip()
+            if path.startswith("b/"):
+                path = path[2:]
+            if path == "/dev/null":
+                current = set()  # deleted file: nothing on the new side
+            else:
+                current = scope.setdefault(path, set())
+        else:
+            match = _HUNK_RE.match(line)
+            if match:
+                start = int(match.group(1))
+                count = int(match.group(2) or "1")
+                current.update(range(start, start + count))
+    return {path: lines for path, lines in scope.items() if lines}
+
+
+def filter_changed(result: LintResult, root: str, ref: str) -> LintResult:
+    """A new :class:`LintResult` keeping only findings on changed
+    lines; the summary is recomputed over the kept set."""
+    scope = changed_lines(root, ref)
+    kept = [
+        f for f in result.findings
+        if f.line in scope.get(f.path, ())
+    ]
+    summary = result.summary
+    summary = type(summary)(files=summary.files)
+    summary.suppressed = result.summary.suppressed
+    for finding in kept:
+        stats = summary.by_rule.setdefault(
+            finding.rule, {"findings": 0, "suppressed": 0}
+        )
+        stats["findings"] += 1
+    summary.findings = len(kept)
+    return LintResult(kept, summary)

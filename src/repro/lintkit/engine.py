@@ -26,7 +26,12 @@ class LintResult:
 
     @property
     def ok(self) -> bool:
-        return not self.findings
+        """True when no *gating* (error/warning) finding remains.
+
+        ``note``-severity findings are advisory: they appear in every
+        report but never fail the run.
+        """
+        return not any(f.severity.gates for f in self.findings)
 
     def exit_code(self) -> int:
         return 0 if self.ok else 1
@@ -187,8 +192,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="project root anchoring docs/registries/ (default: cwd)",
     )
     parser.add_argument(
-        "--format", choices=("human", "json"), default="human",
-        help="report format",
+        "--format", choices=("human", "json", "sarif"), default="human",
+        help="report format (sarif for CI/PR annotation upload)",
+    )
+    parser.add_argument(
+        "--changed", default=None, metavar="REF",
+        help="keep only findings on lines changed since the git REF "
+        "(e.g. origin/main) — the new-code gate for rule rollouts",
     )
     parser.add_argument(
         "--output", default=None, metavar="FILE",
@@ -197,6 +207,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--rules", default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--max-suppressions", type=int, default=None, metavar="N",
+        help="fail (exit 1) when more than N findings are suppressed "
+        "— the CI budget keeping `# lint: disable` from accreting",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -208,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="project-aware static analysis (determinism, units, "
-        "numpy dtype safety, registry drift)",
+        "numpy dtype safety, registry drift, concurrency, crash safety, "
+        "pickle safety)",
     )
     add_arguments(parser)
     return parser
@@ -230,9 +246,22 @@ def run_from_args(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"lint: {exc.args[0]}", file=sys.stderr)
         return 2
-    report = (
-        format_json(result) if args.format == "json" else format_human(result)
-    )
+    if getattr(args, "changed", None):
+        from repro.lintkit.diffscope import DiffScopeError, filter_changed
+
+        try:
+            result = filter_changed(result, project.root, args.changed)
+        except DiffScopeError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+    if args.format == "sarif":
+        from repro.lintkit.sarif import format_sarif
+
+        report = format_sarif(result)
+    elif args.format == "json":
+        report = format_json(result)
+    else:
+        report = format_human(result)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(report + "\n")
@@ -242,6 +271,14 @@ def run_from_args(args: argparse.Namespace) -> int:
         )
     else:
         print(report)
+    budget = getattr(args, "max_suppressions", None)
+    if budget is not None and result.summary.suppressed > budget:
+        print(
+            f"lint: suppression budget exceeded: "
+            f"{result.summary.suppressed} suppressed > budget {budget}",
+            file=sys.stderr,
+        )
+        return 1
     return result.exit_code()
 
 

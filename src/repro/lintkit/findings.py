@@ -14,13 +14,23 @@ class Severity(enum.Enum):
     lint run; ``WARNING`` findings are advisory and also fail the run
     — the linter has no "soft" mode, a warning must be fixed or
     suppressed — but are ranked below errors in the report.
+    ``NOTE`` findings are best-practice advisories (e.g. the CRASH003
+    fsync-before-replace hint): they are reported, counted, and
+    suppressible, but never affect the exit code, so downstream
+    automation can surface them without gating on them.
     """
 
     ERROR = "error"
     WARNING = "warning"
+    NOTE = "note"
 
     def __str__(self) -> str:
         return self.value
+
+    @property
+    def gates(self) -> bool:
+        """True when findings of this severity fail the lint run."""
+        return self is not Severity.NOTE
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,255 @@
+"""Call-graph and reachability queries over the project model.
+
+Everything here is module-granular and conservative in the direction
+the rules need: call edges only exist where the summary pass resolved
+a callee to a project function, so "transitively blocking" can miss
+dynamic dispatch but never invents an edge.  Each query carries
+*provenance* — a human-readable chain (``checkpoint → _write_blob →
+time.sleep``) — so findings can explain themselves instead of just
+pointing at a line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lintkit.model.builder import ClassInfo, ProjectModel
+
+#: Class names (leaf or dotted) that hold OS resources a pickle cannot
+#: carry; used by reachable-class consumers, exported for tests.
+RESOURCE_BASES = {
+    "threading.Thread",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "socket.socket",
+}
+
+
+class GraphQueries:
+    """Fixpoint and BFS queries, built once per model."""
+
+    def __init__(self, model: "ProjectModel") -> None:
+        self.model = model
+        #: qualname -> set of callee qualnames (project functions only).
+        self.edges: Dict[str, Set[str]] = {}
+        #: callee qualname -> set of caller qualnames.
+        self.redges: Dict[str, Set[str]] = {}
+        for info in model.functions.values():
+            targets = self.edges.setdefault(info.qualname, set())
+            for site in info.calls:
+                for callee in site.candidates:
+                    targets.add(callee)
+                    self.redges.setdefault(callee, set()).add(info.qualname)
+        self._blocking: Optional[Dict[str, str]] = None
+        self._fsyncing: Optional[Set[str]] = None
+
+    # ------------------------------------------------------------------
+    # plain reachability
+
+    def reachable(self, seeds: Iterable[str]) -> Set[str]:
+        """Function qualnames reachable from ``seeds`` (inclusive)."""
+        seen: Set[str] = set()
+        frontier = [s for s in seeds if s in self.edges]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.edges.get(current, ()))
+        return seen
+
+    # ------------------------------------------------------------------
+    # blocking fixpoint
+
+    def blocking_reason(self, qualname: str) -> Optional[str]:
+        """Why ``qualname`` may block, as a call chain ending at the
+        primitive (``_flush → os.fsync``), or None if it cannot."""
+        return self._blocking_map().get(qualname)
+
+    def _blocking_map(self) -> Dict[str, str]:
+        if self._blocking is not None:
+            return self._blocking
+        reasons: Dict[str, str] = {}
+        worklist: List[str] = []
+        for info in self.model.functions.values():
+            if info.blocking_sites:
+                site = info.blocking_sites[0]
+                label = site.external or (
+                    f"{site.receiver}.{site.method}()"
+                    if site.receiver and site.method
+                    else "blocking call"
+                )
+                reasons[info.qualname] = label
+                worklist.append(info.qualname)
+        while worklist:
+            callee = worklist.pop()
+            for caller in self.redges.get(callee, ()):
+                if caller in reasons:
+                    continue
+                reasons[caller] = f"{_short(callee)} → {reasons[callee]}"
+                worklist.append(caller)
+        self._blocking = reasons
+        return reasons
+
+    # ------------------------------------------------------------------
+    # fsync fixpoint
+
+    def calls_fsync(self, qualname: str) -> bool:
+        """True if ``qualname`` calls ``os.fsync`` directly or through
+        any chain of project calls."""
+        if self._fsyncing is None:
+            fsyncing: Set[str] = set()
+            worklist = [
+                info.qualname
+                for info in self.model.functions.values()
+                if info.calls_fsync
+            ]
+            fsyncing.update(worklist)
+            while worklist:
+                callee = worklist.pop()
+                for caller in self.redges.get(callee, ()):
+                    if caller not in fsyncing:
+                        fsyncing.add(caller)
+                        worklist.append(caller)
+            self._fsyncing = fsyncing
+        return qualname in self._fsyncing
+
+    # ------------------------------------------------------------------
+    # pickle-reachable classes
+
+    def pickle_roots(self) -> List[Tuple["ClassInfo", str]]:
+        """Classes whose *whole instance* is pickled, with the qualname
+        of the function doing it.
+
+        A root is any project class ``C`` with a method containing
+        ``pickle.dump(...)`` / ``pickle.dumps(...)`` whose payload
+        expression mentions bare ``self`` (``pickle.dump(self, fh)``,
+        ``pickle.dump({"streams": self._streams}, fh)`` does NOT make
+        ``C`` a root — but any project class instantiated inside the
+        payload does, via its own attr edges).
+        """
+        roots: List[Tuple["ClassInfo", str]] = []
+        for info in self.model.functions.values():
+            for site in info.calls:
+                if site.external not in ("pickle.dump", "pickle.dumps"):
+                    continue
+                if not site.node.args:
+                    continue
+                payload = site.node.args[0]
+                for cls, label in self._payload_classes(info, payload):
+                    roots.append((cls, label or info.qualname))
+        return roots
+
+    def _payload_classes(
+        self, info, payload: ast.expr
+    ) -> List[Tuple["ClassInfo", Optional[str]]]:
+        """Project classes pickled by ``payload`` inside ``info``."""
+        out: List[Tuple["ClassInfo", Optional[str]]] = []
+        seen_exprs: List[ast.expr] = [payload]
+        # One level of local-variable expansion: payload = {...}; dump(payload)
+        if isinstance(payload, ast.Name):
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and \
+                            target.id == payload.id:
+                        seen_exprs.append(node.value)
+        for expr in seen_exprs:
+            for node in ast.walk(expr):
+                # bare self => the owning class is pickled wholesale
+                if isinstance(node, ast.Name) and node.id == "self" and \
+                        info.owner is not None:
+                    # exclude the receiver of self.attr (that's the
+                    # attribute's value, resolved via attr edges below)
+                    out.append((info.owner, info.qualname))
+                elif isinstance(node, ast.Attribute) and isinstance(
+                    node.value, ast.Name
+                ) and node.value.id == "self" and info.owner is not None:
+                    for qual in info.owner.attr_classes.get(node.attr, ()):
+                        cls = self.model.classes.get(qual)
+                        if cls is not None:
+                            out.append(
+                                (cls,
+                                 f"{info.qualname} via self.{node.attr}")
+                            )
+        # A bare-`self` match above also walks the `self` inside
+        # `self.attr`; drop the owner entry when every mention of self
+        # is an attribute receiver.
+        has_bare_self = any(
+            _mentions_bare_self(expr) for expr in seen_exprs
+        )
+        if not has_bare_self:
+            out = [(c, l) for (c, l) in out
+                   if info.owner is None or c is not info.owner
+                   or (l and "via self." in l)]
+        return out
+
+    def reachable_classes(
+        self, roots: Iterable[Tuple["ClassInfo", str]]
+    ) -> Dict[str, str]:
+        """BFS over attribute→class edges from ``roots``.
+
+        Returns ``{class qualname: provenance}`` where provenance reads
+        ``Service.checkpoint → StreamRun.sim → Simulation.telemetry``.
+        Expansion per reached class: its attr-edge targets, the
+        targets' project subclasses (the attribute may hold any of
+        them), and its own project bases (their attrs live on the
+        instance).  Classes defining ``__getstate__``/``__reduce__``
+        are *recorded* but not traversed — they rewrite their own
+        pickled payload.
+        """
+        prov: Dict[str, str] = {}
+        frontier: List["ClassInfo"] = []
+        for cls, label in roots:
+            if cls.qualname not in prov:
+                prov[cls.qualname] = label
+                frontier.append(cls)
+        while frontier:
+            current = frontier.pop(0)
+            here = prov[current.qualname]
+            if current.custom_pickle:
+                continue  # opaque: payload is whatever __getstate__ says
+            neighbours: List[Tuple["ClassInfo", str]] = []
+            for attr, targets in sorted(current.attr_classes.items()):
+                for qual in sorted(targets):
+                    cls = self.model.classes.get(qual)
+                    if cls is None:
+                        continue
+                    label = f"{here} → {current.name}.{attr}"
+                    neighbours.append((cls, label))
+                    for sub in self.model.subclasses_of(cls):
+                        neighbours.append(
+                            (sub, f"{label} (as subclass {sub.name})")
+                        )
+            for base in self.model.base_classes(current):
+                neighbours.append((base, f"{here} → base {base.name}"))
+            for cls, label in neighbours:
+                if cls.qualname not in prov:
+                    prov[cls.qualname] = label
+                    frontier.append(cls)
+        return prov
+
+
+def _mentions_bare_self(expr: ast.expr) -> bool:
+    """True when ``expr`` mentions ``self`` other than as an attribute
+    receiver (``self`` yes; ``self.x`` / ``self.x.y`` no)."""
+    receivers = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ) and node.value.id == "self":
+            receivers.add(id(node.value))
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id == "self" and \
+                id(node) not in receivers:
+            return True
+    return False
+
+
+def _short(qualname: str) -> str:
+    """The last two dotted segments — enough to read a chain."""
+    parts = qualname.rsplit(".", 2)
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname

@@ -1,0 +1,221 @@
+"""CONC rules — lock discipline and thread hygiene.
+
+These are project-scope rules built on :mod:`repro.lintkit.model`:
+they need to know *all* writes to an attribute across a class, which
+calls can transitively block, and which classes launch threads.
+
+* **CONC001** — torn shared-state writes.  Two modes: in a class that
+  owns a lock, an attribute written both under ``with self._lock:``
+  and outside it is flagged at the unlocked write; in a *lock-free*
+  class that launches a thread, every in-place mutation of shared
+  state (``+=``, ``self.d[k] = …``, ``.append``) outside ``__init__``
+  must carry a ``# lint: torn-safe`` annotation declaring the design
+  (single-word writes, monotone counters).  Plain rebinds are exempt:
+  rebinding one reference is atomic under the GIL.
+* **CONC002** — blocking while holding a lock: a call at lock depth
+  > 0 that blocks directly (``time.sleep``, write-``open``, socket /
+  subprocess primitives, ``.join()``/``.acquire()`` on a
+  concurrency-named receiver) or reaches a blocking primitive through
+  project calls; the finding carries the call chain.
+* **CONC003** — ``threading.Thread`` without lifecycle discipline:
+  neither ``daemon=`` at construction nor a ``join()`` on the stored
+  handle anywhere in the owning class (or the same function, for
+  locals).
+* **CONC004** — a ``# lint: torn-safe`` annotation that exempted
+  nothing is itself flagged, exactly like a stale suppression, so the
+  declared lock-free surface shrinks with the code.  Runs after
+  CONC001 (rules run in sorted-id order), which marks annotations
+  used.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lintkit.base import Rule, register
+from repro.lintkit.context import Project
+from repro.lintkit.findings import Finding, Severity
+from repro.lintkit.model import get_model
+
+
+@register
+class TornWriteRule(Rule):
+    id = "CONC001"
+    title = "shared attribute written without consistent locking"
+    severity = Severity.ERROR
+    fix_hint = (
+        "hold the lock for every write, or annotate the deliberate "
+        "lock-free write with `# lint: torn-safe -- <why>`"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for cls in model.classes.values():
+            if cls.lock_attrs:
+                yield from self._check_locked_class(cls)
+            elif cls.launches_thread:
+                yield from self._check_lockfree_threaded_class(cls)
+
+    def _check_locked_class(self, cls) -> Iterable[Finding]:
+        writes: Dict[str, List] = {}
+        for method in cls.methods.values():
+            for write in method.attr_writes:
+                if write.attr in cls.lock_attrs:
+                    continue
+                writes.setdefault(write.attr, []).append(write)
+        for attr, attr_writes in sorted(writes.items()):
+            locked = [w for w in attr_writes if w.lock_depth > 0]
+            unlocked = [
+                w for w in attr_writes
+                if w.lock_depth == 0 and w.function.name != "__init__"
+            ]
+            if not locked or not unlocked:
+                continue
+            for write in unlocked:
+                if cls.ctx.torn_safe.consume(write.node.lineno):
+                    continue
+                lock = sorted(cls.lock_attrs)[0]
+                yield self.finding(
+                    cls.ctx,
+                    write.node,
+                    f"`self.{attr}` is written under `with self.{lock}:` in "
+                    f"{_locked_methods(locked)} but without it in "
+                    f"`{write.function.name}`",
+                )
+
+    def _check_lockfree_threaded_class(self, cls) -> Iterable[Finding]:
+        for method in cls.methods.values():
+            if method.name == "__init__":
+                continue
+            for write in method.attr_writes:
+                if write.kind != "mutate":
+                    continue
+                if cls.ctx.torn_safe.consume(write.node.lineno):
+                    continue
+                yield self.finding(
+                    cls.ctx,
+                    write.node,
+                    f"`{cls.name}` launches a thread but mutates "
+                    f"`self.{write.attr}` in `{method.name}` with no lock; "
+                    "declare the lock-free design with `# lint: torn-safe` "
+                    "or add a lock",
+                )
+
+
+def _locked_methods(locked_writes) -> str:
+    names = sorted({w.function.name for w in locked_writes})
+    return ", ".join(f"`{n}`" for n in names)
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    id = "CONC002"
+    title = "blocking call while holding a lock"
+    severity = Severity.WARNING
+    fix_hint = (
+        "move the blocking operation outside the lock region; hold "
+        "locks only around the in-memory state transition"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for info in model.functions.values():
+            direct = set(id(site.node) for site in info.blocking_sites)
+            for site in info.calls:
+                if site.lock_depth == 0:
+                    continue
+                if id(site.node) in direct:
+                    label = site.external or (
+                        f"{site.receiver}.{site.method}()"
+                        if site.receiver and site.method
+                        else "blocking call"
+                    )
+                    yield self.finding(
+                        info.ctx,
+                        site.node,
+                        f"`{info.name}` calls blocking `{label}` while "
+                        "holding a lock",
+                    )
+                    continue
+                for callee in site.candidates:
+                    reason = model.queries.blocking_reason(callee)
+                    if reason is not None:
+                        yield self.finding(
+                            info.ctx,
+                            site.node,
+                            f"`{info.name}` holds a lock across a call that "
+                            f"may block: {_leaf(callee)} → {reason}",
+                        )
+                        break
+
+
+def _leaf(qualname: str) -> str:
+    parts = qualname.rsplit(".", 2)
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+@register
+class ThreadLifecycleRule(Rule):
+    id = "CONC003"
+    title = "thread launched without daemon= or join()"
+    severity = Severity.WARNING
+    fix_hint = (
+        "pass daemon=True for a background thread, or keep the handle "
+        "and join() it on shutdown"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for info in model.functions.values():
+            for create in info.thread_creates:
+                if create.has_daemon:
+                    continue
+                if self._is_joined(model, info, create.assigned_to):
+                    continue
+                target = create.assigned_to or "<unbound>"
+                yield self.finding(
+                    info.ctx,
+                    create.node,
+                    f"`threading.Thread` stored in `{target}` is created "
+                    "without `daemon=` and never `join()`ed",
+                )
+
+    @staticmethod
+    def _is_joined(model, info, assigned_to) -> bool:
+        if assigned_to is None:
+            return False
+        if assigned_to.startswith("self.") and info.owner is not None:
+            search: Iterable = (
+                m for m in info.owner.methods.values()
+            )
+        else:
+            search = (info,)
+        for func in search:
+            for site in func.calls:
+                if site.method == "join" and site.receiver == assigned_to:
+                    return True
+        return False
+
+
+@register
+class StaleTornSafeRule(Rule):
+    id = "CONC004"
+    title = "torn-safe annotation exempted nothing"
+    severity = Severity.WARNING
+    fix_hint = (
+        "delete the stale `# lint: torn-safe` comment — the write it "
+        "covered is gone or now locked"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        # CONC001 (sorted before this rule) has already consumed every
+        # annotation that exempts a real write.
+        for ctx in project.files:
+            for entry in ctx.torn_safe.unused():
+                yield self.finding(
+                    ctx,
+                    entry.comment_line,
+                    "torn-safe annotation on line "
+                    f"{entry.target_line} exempts no lock-free write",
+                )

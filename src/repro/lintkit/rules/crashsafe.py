@@ -1,0 +1,254 @@
+"""CRASH rules — crash-safe persistence protocols.
+
+The service checkpoint/resume layer survives SIGKILL because every
+durable artifact follows one protocol: write to a temp path in the
+same directory, flush + ``os.fsync``, then ``os.replace`` onto the
+final name — and the manifest (the commit record naming the other
+artifacts) is replaced *last*.  These rules encode that protocol over
+the project model's durable-write/replace summaries, so deleting any
+step of it anywhere in the tree is caught statically.
+
+A write is *checkpoint-scoped* when its path tokens or its enclosing
+function's name mention ``checkpoint``/``ckpt``/``manifest``/
+``save_state``; the rules stay silent elsewhere (scratch outputs,
+plots, logs have no atomicity contract).
+
+* **CRASH001** (error) — a checkpoint-scoped write that lands
+  directly on the final path (no temp token), or a temp write in a
+  function that never ``os.replace``s anything: a crash mid-write
+  leaves a torn artifact (or never publishes one).
+* **CRASH002** (error) — manifest-last ordering: in a function that
+  publishes several artifacts, the ``os.replace`` whose destination
+  is the manifest must be the final one, else a crash between
+  replaces leaves a manifest naming artifacts that don't exist yet.
+* **CRASH003** (note, advisory — never gates the exit code) — a
+  checkpoint-scoped function publishes via ``os.replace`` but neither
+  it nor anything it calls runs ``os.fsync``: rename durability
+  without data durability, so power loss can publish an empty file.
+* **CRASH004** (warning) — handle hygiene around raising calls: a
+  handle from bare ``open()`` that is still unclosed when the
+  function calls a project function that raises (outside any
+  ``try``), and ``open()`` passed inline as a call argument with
+  nothing owning the handle at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set, Tuple
+
+from repro.lintkit.base import Rule, dotted_name, register
+from repro.lintkit.context import Project
+from repro.lintkit.findings import Finding, Severity
+from repro.lintkit.model import get_model
+
+#: Substrings marking a path/function as checkpoint-scoped.
+CHECKPOINT_MARKERS = ("checkpoint", "ckpt", "manifest", "save_state")
+
+#: Substrings marking a path expression as a temp path.
+TMP_MARKERS = ("tmp", "temp", "partial")
+
+
+def _checkpoint_scoped(info, tokens: Set[str]) -> bool:
+    bag = sorted(tokens | {info.name.lower()})
+    return any(marker in token for token in bag for marker in CHECKPOINT_MARKERS)
+
+
+def _tmpish(tokens: Set[str]) -> bool:
+    return any(marker in token for token in sorted(tokens) for marker in TMP_MARKERS)
+
+
+@register
+class AtomicPublishRule(Rule):
+    id = "CRASH001"
+    title = "checkpoint artifact written without tmp + os.replace"
+    severity = Severity.ERROR
+    fix_hint = (
+        "write to `<final>.tmp` in the same directory, fsync, then "
+        "`os.replace(tmp, final)` — readers then see old-or-new, "
+        "never torn"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for info in model.functions.values():
+            for write in info.durable_writes:
+                if not _checkpoint_scoped(info, write.path_tokens):
+                    continue
+                if not _tmpish(write.path_tokens):
+                    yield self.finding(
+                        info.ctx,
+                        write.node,
+                        f"`{info.name}` writes a checkpoint artifact "
+                        "directly to its final path; a crash mid-write "
+                        "leaves a torn file",
+                    )
+                elif not info.replaces:
+                    yield self.finding(
+                        info.ctx,
+                        write.node,
+                        f"`{info.name}` writes a checkpoint temp file but "
+                        "never publishes it with `os.replace`",
+                    )
+
+
+@register
+class ManifestLastRule(Rule):
+    id = "CRASH002"
+    title = "manifest replaced before its artifacts"
+    severity = Severity.ERROR
+    fix_hint = (
+        "publish data artifacts first and `os.replace` the manifest "
+        "last — the manifest is the commit record"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for info in model.functions.values():
+            if len(info.replaces) < 2:
+                continue
+            manifest_lines = [
+                r.node.lineno
+                for r in info.replaces
+                if any("manifest" in t for t in r.dst_tokens)
+            ]
+            if not manifest_lines:
+                continue
+            first_manifest = min(manifest_lines)
+            for replace in info.replaces:
+                if any("manifest" in t for t in replace.dst_tokens):
+                    continue
+                if replace.node.lineno > first_manifest:
+                    yield self.finding(
+                        info.ctx,
+                        replace.node,
+                        f"`{info.name}` publishes an artifact *after* the "
+                        "manifest replace on line "
+                        f"{first_manifest}; a crash in between commits a "
+                        "manifest naming files that do not exist",
+                    )
+
+
+@register
+class FsyncBeforeReplaceRule(Rule):
+    id = "CRASH003"
+    title = "os.replace without fsync (advisory)"
+    severity = Severity.NOTE
+    fix_hint = (
+        "`fh.flush(); os.fsync(fh.fileno())` before `os.replace` — "
+        "rename durability does not imply data durability"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for info in model.functions.values():
+            if not info.replaces:
+                continue
+            tokens: Set[str] = set()
+            for write in info.durable_writes:
+                tokens |= write.path_tokens
+            for replace in info.replaces:
+                tokens |= replace.src_tokens | replace.dst_tokens
+            if not _checkpoint_scoped(info, tokens):
+                continue
+            if model.queries.calls_fsync(info.qualname):
+                continue
+            yield self.finding(
+                info.ctx,
+                info.replaces[0].node,
+                f"`{info.name}` publishes with `os.replace` but never "
+                "reaches `os.fsync`; power loss can publish an empty file",
+            )
+
+
+@register
+class HandleHygieneRule(Rule):
+    id = "CRASH004"
+    title = "open() handle leaks on an error path"
+    severity = Severity.WARNING
+    fix_hint = (
+        "use `with open(...)`, or close the handle in a "
+        "`try/except: close(); raise` around the code that can raise"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for info in model.functions.values():
+            yield from self._check_function(model, info)
+
+    def _check_function(self, model, info) -> Iterable[Finding]:
+        opens = self._bare_opens(info)
+        if opens:
+            guarded = _guarded_lines(info.node)
+            raising = [
+                site
+                for site in info.calls
+                if site.node.lineno not in guarded
+                and any(
+                    model.functions[c].raises_directly
+                    for c in site.candidates
+                    if c in model.functions
+                )
+            ]
+            for open_line, target in opens:
+                for site in raising:
+                    if site.node.lineno > open_line:
+                        callee = site.candidates[0].rsplit(".", 1)[-1]
+                        yield self.finding(
+                            info.ctx,
+                            open_line,
+                            f"`{info.name}` opens `{target}` and then calls "
+                            f"`{callee}` which can raise, outside any "
+                            "`try` — the handle leaks on that path",
+                        )
+                        break
+        # open() passed inline as an argument: nothing owns the handle.
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                if (
+                    isinstance(arg, ast.Call)
+                    and isinstance(arg.func, ast.Name)
+                    and arg.func.id == "open"
+                ):
+                    outer = dotted_name(node.func) or "a call"
+                    yield self.finding(
+                        info.ctx,
+                        arg,
+                        f"`open()` passed inline to `{outer}` — no name "
+                        "owns the handle, so it is never closed "
+                        "deterministically",
+                    )
+
+    @staticmethod
+    def _bare_opens(info) -> List[Tuple[int, str]]:
+        """(line, target) for ``x = open(...)`` outside a ``with``
+        (plain and annotated assignments)."""
+        out: List[Tuple[int, str]] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                value, target_node = node.value, node.targets[0]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, target_node = node.value, node.target
+            else:
+                continue
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "open"
+            ):
+                target = dotted_name(target_node) or "<handle>"
+                out.append((node.lineno, target))
+        return out
+
+
+def _guarded_lines(func_node: ast.AST) -> Set[int]:
+    """Lines inside a ``try`` that has handlers or a ``finally``."""
+    lines: Set[int] = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Try) and (node.handlers or node.finalbody):
+            for stmt in node.body:
+                end = getattr(stmt, "end_lineno", None) or stmt.lineno
+                lines.update(range(stmt.lineno, end + 1))
+    return lines

@@ -1,0 +1,163 @@
+"""PICKLE rules — checkpoint envelope integrity.
+
+``Simulation.save_state`` and the service checkpoint pickle whole
+object graphs.  Pickle fails (or worse, round-trips uselessly) on OS
+resources — open files, threads, locks, sockets — and on lambdas.
+These rules walk the *pickle-reachable* class set: the classes the
+model's reachability query reaches from every ``pickle.dump`` payload
+in the tree, following attribute→class edges with subclass closure.
+Classes defining ``__getstate__``/``__reduce__`` rewrite their own
+payload and are exempt (and not traversed).
+
+* **PICKLE001** (error) — a pickle-reachable class stores an OS
+  resource or a generator on an attribute.  The finding carries the
+  provenance chain (``Simulation.save_state → Simulation.telemetry →
+  TelemetryBus.sinks``) so the fix site is obvious.
+* **PICKLE002** (error) — a lambda assigned to an attribute whose
+  name lives on a pickle-reachable class (``tracer.sim_clock =
+  lambda: …``).  The run works until the first checkpoint, which
+  dies with ``Can't pickle <lambda>``; use a small module-level class
+  with ``__call__`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.lintkit.base import Rule, dotted_name, register
+from repro.lintkit.context import Project
+from repro.lintkit.findings import Finding, Severity
+from repro.lintkit.model import get_model
+
+#: Constructor dotted paths whose result cannot be pickled, with the
+#: human name used in findings.
+RESOURCE_CONSTRUCTORS = {
+    "open": "an open file handle",
+    "io.open": "an open file handle",
+    "gzip.open": "an open file handle",
+    "bz2.open": "an open file handle",
+    "lzma.open": "an open file handle",
+    "tempfile.NamedTemporaryFile": "an open temp file",
+    "tempfile.TemporaryFile": "an open temp file",
+    "socket.socket": "a socket",
+    "socket.create_connection": "a socket",
+    "threading.Thread": "a thread handle",
+    "threading.Lock": "a lock",
+    "threading.RLock": "a lock",
+    "threading.Condition": "a condition variable",
+    "threading.Event": "an event",
+    "threading.Semaphore": "a semaphore",
+    "subprocess.Popen": "a subprocess handle",
+}
+
+
+def _reachable(model) -> Dict[str, str]:
+    """{class qualname: provenance} for the pickle-reachable set."""
+    roots = model.queries.pickle_roots()
+    return model.queries.reachable_classes(roots)
+
+
+@register
+class ResourceInEnvelopeRule(Rule):
+    id = "PICKLE001"
+    title = "pickle-reachable class stores an OS resource"
+    severity = Severity.ERROR
+    fix_hint = (
+        "drop the resource in `__getstate__` and reacquire it in "
+        "`__setstate__`, or keep it off the checkpointed object"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        for qualname, provenance in sorted(_reachable(model).items()):
+            cls = model.classes.get(qualname)
+            if cls is None or cls.custom_pickle:
+                continue
+            for method in cls.methods.values():
+                for write in method.attr_writes:
+                    if write.kind != "rebind" or write.value is None:
+                        continue
+                    label = self._resource_label(cls, write.value)
+                    if label is None:
+                        continue
+                    yield self.finding(
+                        cls.ctx,
+                        write.node,
+                        f"`{cls.name}.{write.attr}` holds {label}, but "
+                        f"`{cls.name}` is inside the checkpoint pickle "
+                        f"({provenance})",
+                    )
+
+    @staticmethod
+    def _resource_label(cls, value: ast.expr):
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator"
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is not None:
+                resolved = cls.module.resolve_alias(dotted)
+                return RESOURCE_CONSTRUCTORS.get(resolved)
+        return None
+
+
+@register
+class LambdaOnAttributeRule(Rule):
+    id = "PICKLE002"
+    title = "lambda assigned to a checkpointed attribute"
+    severity = Severity.ERROR
+    fix_hint = (
+        "replace the lambda with a module-level class defining "
+        "__call__ (picklable and testable)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = get_model(project)
+        reachable = _reachable(model)
+        attr_owners = self._reachable_attr_names(model, reachable)
+        for info in model.functions.values():
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Lambda)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                ):
+                    continue
+                attr = node.targets[0].attr
+                owner = attr_owners.get(attr)
+                if owner is None:
+                    continue
+                cls_name, provenance = owner
+                target = dotted_name(node.targets[0]) or attr
+                yield self.finding(
+                    info.ctx,
+                    node,
+                    f"lambda assigned to `{target}`; attribute `{attr}` "
+                    f"lives on pickle-reachable `{cls_name}` "
+                    f"({provenance}), and lambdas cannot be pickled",
+                )
+
+    @staticmethod
+    def _reachable_attr_names(
+        model, reachable: Dict[str, str]
+    ) -> Dict[str, Tuple[str, str]]:
+        """attr name -> (class name, provenance) over reachable
+        classes without custom pickling."""
+        owners: Dict[str, Tuple[str, str]] = {}
+        for qualname, provenance in sorted(reachable.items()):
+            cls = model.classes.get(qualname)
+            if cls is None or cls.custom_pickle:
+                continue
+            names: Set[str] = set()
+            for method in cls.methods.values():
+                for write in method.attr_writes:
+                    names.add(write.attr)
+            for stmt in cls.node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    names.add(stmt.target.id)
+            for name in names:
+                owners.setdefault(name, (cls.name, provenance))
+        return owners

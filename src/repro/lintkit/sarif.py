@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 output for ``repro lint``.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+hosts ingest to annotate pull requests inline: upload the file from
+CI and every finding becomes a review comment at its line.  One run,
+one ``tool.driver`` carrying the full rule catalogue (so the host can
+render titles and fix hints), one ``result`` per finding.
+
+Severity maps directly: ``error``/``warning`` gate, ``note`` is
+advisory — the same contract as the human/JSON formats and the exit
+code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lintkit.base import all_rules
+from repro.lintkit.engine import LintResult
+from repro.lintkit.findings import Severity
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+#: Engine-synthesized findings that exist outside the rule registry.
+_PSEUDO_RULES = {
+    "PARSE": ("file does not parse", Severity.ERROR),
+    "SUP001": ("stale or unknown suppression", Severity.WARNING),
+}
+
+
+def _rule_catalogue() -> List[dict]:
+    entries = []
+    for rule in all_rules():
+        entry = {
+            "id": rule.id,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+        }
+        if rule.fix_hint:
+            entry["help"] = {"text": rule.fix_hint}
+        entries.append(entry)
+    for rule_id, (title, severity) in sorted(_PSEUDO_RULES.items()):
+        entries.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": title},
+                "defaultConfiguration": {"level": _LEVELS[severity]},
+            }
+        )
+    return entries
+
+
+def format_sarif(result: LintResult) -> str:
+    """The lint result as a SARIF 2.1.0 JSON document."""
+    rules = _rule_catalogue()
+    index: Dict[str, int] = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in index:
+            entry["ruleIndex"] = index[finding.rule]
+        if finding.fix_hint:
+            entry["message"]["text"] += f" — {finding.fix_hint}"
+        results.append(entry)
+    doc = {
+        "version": "2.1.0",
+        "$schema": _SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)

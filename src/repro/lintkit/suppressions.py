@@ -23,7 +23,7 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Pattern
 
 #: Matches ``lint: disable=DET001`` and ``lint: disable=DET001,UNIT002``
 #: inside a comment token.  Anything after the rule list (e.g. an
@@ -46,8 +46,15 @@ class SuppressionEntry:
     used: bool = field(default=False)
 
 
-def _disable_comments(source: str) -> List[tuple]:
-    """(line, standalone, [rules]) for every real disable comment."""
+def tagged_comments(source: str, pattern: Pattern) -> List[tuple]:
+    """(line, standalone, match) for every *real* comment token whose
+    text matches ``pattern``.
+
+    Tokenizes the file so the tag appearing inside a string or
+    docstring is never picked up.  Shared by the ``lint: disable=``
+    suppressions and the ``lint: torn-safe`` annotations
+    (:mod:`repro.lintkit.annotations`).
+    """
     out: List[tuple] = []
     lines = source.splitlines()
     try:
@@ -57,14 +64,42 @@ def _disable_comments(source: str) -> List[tuple]:
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
-        match = _DISABLE_RE.search(tok.string)
+        match = pattern.search(tok.string)
         if not match:
             continue
-        rules = [r.strip() for r in match.group(1).split(",")]
         line, col = tok.start
         before = lines[line - 1][:col] if line - 1 < len(lines) else ""
-        out.append((line, before.strip() == "", rules))
+        out.append((line, before.strip() == "", match))
     return out
+
+
+def attach_comment(line: int, standalone: bool, lines: List[str]) -> int:
+    """The code line a tag comment on ``line`` applies to.
+
+    Trailing comments apply to their own line; standalone comments
+    attach to the first code line below them (chains of consecutive
+    comment lines pass through; a blank line or EOF breaks the
+    attachment, leaving the tag anchored — and stale — on itself).
+    """
+    if not standalone:
+        return line
+    cursor = line + 1
+    while cursor <= len(lines):
+        text = lines[cursor - 1]
+        if _BLANK_RE.match(text):
+            break
+        if not _COMMENT_ONLY_RE.match(text):
+            return cursor
+        cursor += 1
+    return line
+
+
+def _disable_comments(source: str) -> List[tuple]:
+    """(line, standalone, [rules]) for every real disable comment."""
+    return [
+        (line, standalone, [r.strip() for r in match.group(1).split(",")])
+        for line, standalone, match in tagged_comments(source, _DISABLE_RE)
+    ]
 
 
 class FileSuppressions:
@@ -75,21 +110,7 @@ class FileSuppressions:
         self._by_line: Dict[int, List[SuppressionEntry]] = {}
         lines = source.splitlines()
         for line, standalone, rules in _disable_comments(source):
-            target = line
-            if standalone:
-                # Attach to the first code line below; consecutive
-                # comment lines chain, a blank line (or EOF) breaks
-                # the attachment and the suppression goes stale.
-                cursor = line + 1
-                while cursor <= len(lines):
-                    text = lines[cursor - 1]
-                    if _BLANK_RE.match(text):
-                        break
-                    if not _COMMENT_ONLY_RE.match(text):
-                        target = cursor
-                        break
-                    cursor += 1
-            self._add(rules, line, target)
+            self._add(rules, line, attach_comment(line, standalone, lines))
 
     def _add(self, rules: List[str], comment_line: int, target_line: int) -> None:
         for rule in rules:

@@ -139,6 +139,24 @@ class Span:
             )
 
 
+class SimClock:
+    """Picklable simulated-clock binding for :attr:`Tracer.sim_clock`.
+
+    The engine points the tracer at its epoch state with an instance
+    of this class rather than a ``lambda: st.now_s`` closure: the
+    tracer rides inside checkpoint pickles, and a lambda on the
+    attribute would fail the first ``pickle.dump`` it meets.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state) -> None:
+        self._state = state
+
+    def __call__(self) -> float:
+        return float(self._state.now_s)
+
+
 class Tracer:
     """Collects :class:`SpanRecord` objects for one run.
 
@@ -157,7 +175,7 @@ class Tracer:
         self.origin = time.perf_counter()
         #: Current epoch, stamped onto spans (the engine maintains it).
         self.current_epoch = 0
-        #: Simulated clock; the engine wires ``lambda: state.now_s``.
+        #: Simulated clock; the engine wires a :class:`SimClock`.
         self.sim_clock: Optional[Callable[[], float]] = None
         self._stack: List[Span] = []
 

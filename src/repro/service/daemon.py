@@ -456,9 +456,9 @@ class Service:
 
         Write order is the crash-safety argument: per-stream engine
         checkpoints and the results pickle are written (each one
-        atomically) *before* the manifest replaces its predecessor, so
-        ``manifest.json`` only ever names files that are already
-        complete on disk.
+        fsynced and atomically replaced) *before* the manifest
+        replaces its predecessor, so ``manifest.json`` only ever
+        names files that are already complete and durable on disk.
         """
         ckpt_dir = Path(self.config.checkpoint_dir)
         ckpt_dir.mkdir(parents=True, exist_ok=True)
@@ -477,6 +477,8 @@ class Service:
         tmp = ckpt_dir / "results.pkl.tmp"
         with open(tmp, "wb") as fh:
             pickle.dump(self.results, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, ckpt_dir / "results.pkl")
         self.checkpoints_written += 1
         manifest = {
@@ -488,7 +490,10 @@ class Service:
             "streams": entries,
         }
         tmp = ckpt_dir / "manifest.json.tmp"
-        tmp.write_text(json.dumps(manifest, indent=2))
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(manifest, indent=2))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, ckpt_dir / "manifest.json")
         self._mx_ckpts.inc()
         return ckpt_dir / "manifest.json"

@@ -110,6 +110,7 @@ from repro.obs import (
     parse_series_spec,
     wall_clock,
 )
+from repro.obs.tracing import SimClock
 from repro.sim.config import SimConfig
 from repro.sim.perf import EpochPerf, PerformanceModel
 from repro.sim.telemetry import RingBufferSink, TelemetryBus
@@ -871,8 +872,10 @@ class Simulation:
         ring, the metrics registry, and the epoch state — so every
         cross-reference (the policy's view of the tiers, the
         controller's attached trackers) survives intact.  The write is
-        atomic (tmp + ``os.replace``): a crash mid-checkpoint leaves
-        the previous checkpoint, never a torn file.
+        atomic and durable (tmp + ``os.fsync`` + ``os.replace``): a
+        crash mid-checkpoint leaves the previous checkpoint, never a
+        torn file, and power loss after the replace cannot publish an
+        empty one.
 
         Checkpointing a run with *tracing* enabled is refused: spans
         hold wall-clock state that cannot meaningfully resume.  The
@@ -904,6 +907,8 @@ class Simulation:
         try:
             with open(tmp, "wb") as fh:
                 pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except Exception:
             with contextlib.suppress(OSError):
@@ -1059,7 +1064,7 @@ class Simulation:
         """
         tracer = self.obs.tracer
         if tracer.enabled:
-            tracer.sim_clock = lambda: st.now_s
+            tracer.sim_clock = SimClock(st)
             if tracer.bus is None:
                 tracer.bus = self.telemetry
         with tracer.span("run"):

@@ -275,22 +275,27 @@ class TraceReader:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._fh: Optional[IO[bytes]] = open(self.path, "rb")
-        magic = self._fh.read(len(V2_MAGIC))
-        if magic != V2_MAGIC:
+        # Header parsing can raise (truncated file, bad magic, alien
+        # spec); close the handle on every such path or it leaks.
+        try:
+            magic = self._fh.read(len(V2_MAGIC))
+            if magic != V2_MAGIC:
+                raise TraceFormatError(
+                    f"{self.path} is not a v2 trace (magic {magic!r})"
+                )
+            (header_len,) = struct.unpack("<I", self._read_exact(4))
+            header = json.loads(self._read_exact(header_len).decode())
+            if header.get("version") != TRACE_FORMAT_VERSION_V2:
+                raise TraceFormatError(
+                    f"unsupported v2 version {header.get('version')}"
+                )
+            self.spec = WorkloadSpec(**header["spec"])
+            self.metadata: dict = header.get("metadata", {})
+            self._data_start = self._fh.tell()
+        except Exception:
             self._fh.close()
-            raise TraceFormatError(
-                f"{self.path} is not a v2 trace (magic {magic!r})"
-            )
-        (header_len,) = struct.unpack("<I", self._read_exact(4))
-        header = json.loads(self._read_exact(header_len).decode())
-        if header.get("version") != TRACE_FORMAT_VERSION_V2:
-            self._fh.close()
-            raise TraceFormatError(
-                f"unsupported v2 version {header.get('version')}"
-            )
-        self.spec = WorkloadSpec(**header["spec"])
-        self.metadata: dict = header.get("metadata", {})
-        self._data_start = self._fh.tell()
+            self._fh = None
+            raise
         #: Chunks consumed through :meth:`read_next` / :meth:`skip`.
         self.chunks_read = 0
         self._complete = False

@@ -1,0 +1,288 @@
+"""Bad/good fixture pairs for the CONC concurrency rule family."""
+
+from tests.lintkit.conftest import messages, rule_ids
+
+CONC = ["CONC001", "CONC002", "CONC003", "CONC004"]
+
+
+# ----------------------------------------------------------------------
+# CONC001 — lock discipline in lock-owning classes
+
+
+def test_conc001_flags_unlocked_write_of_locked_attr(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/box.py": """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def locked_add(self, n):
+                    with self._lock:
+                        self.total += n
+
+                def racy_add(self, n):
+                    self.total += n
+        """,
+    }, rules=CONC)
+    assert rule_ids(result) == ["CONC001"]
+    (msg,) = messages(result)
+    assert "racy_add" in msg and "_lock" in msg
+
+
+def test_conc001_quiet_when_every_write_is_locked(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/box.py": """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self.total += n
+
+                def reset(self, n):
+                    with self._lock:
+                        self.total = 0
+        """,
+    }, rules=CONC)
+    assert result.findings == []
+
+
+def test_conc001_init_writes_are_exempt(lint_tree):
+    # Construction happens-before publication; __init__ writes are not
+    # racy even when other methods write the same attr under the lock.
+    result = lint_tree({
+        "src/repro/svc/box.py": """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self.total += n
+        """,
+    }, rules=CONC)
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# CONC001 — lock-free threaded classes need torn-safe annotations
+
+
+def test_conc001_flags_unannotated_mutation_in_threaded_class(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/server.py": """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self.hits = 0
+                    self._thread = None
+
+                def start(self):
+                    self._thread = threading.Thread(
+                        target=self._serve, daemon=True)
+                    self._thread.start()
+
+                def count(self):
+                    self.hits += 1
+        """,
+    }, rules=CONC)
+    assert rule_ids(result) == ["CONC001"]
+    (msg,) = messages(result)
+    assert "hits" in msg and "torn-safe" in msg
+
+
+def test_conc001_torn_safe_annotation_exempts_and_is_consumed(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/server.py": """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self.hits = 0
+                    self._thread = None
+
+                def start(self):
+                    self._thread = threading.Thread(
+                        target=self._serve, daemon=True)
+                    self._thread.start()
+
+                def count(self):
+                    # lint: torn-safe -- monotone counter
+                    self.hits += 1
+        """,
+    }, rules=CONC)
+    # the annotation exempts the write AND is counted as used (no
+    # CONC004 stale-annotation finding either)
+    assert result.findings == []
+
+
+def test_conc001_plain_rebinds_in_threaded_class_are_exempt(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/server.py": """
+            import threading
+
+            class Server:
+                def __init__(self):
+                    self.started = False
+                    self._thread = None
+
+                def start(self):
+                    self._thread = threading.Thread(
+                        target=self._serve, daemon=True)
+                    self._thread.start()
+                    self.started = True
+        """,
+    }, rules=CONC)
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# CONC002 — blocking while holding a lock
+
+
+def test_conc002_flags_direct_blocking_call_under_lock(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/box.py": """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def slow(self):
+                    with self._lock:
+                        time.sleep(1.0)
+                        self.total = 1
+
+                def other(self):
+                    with self._lock:
+                        self.total = 2
+        """,
+    }, rules=["CONC002"])
+    assert rule_ids(result) == ["CONC002"]
+    (msg,) = messages(result)
+    assert "time.sleep" in msg
+
+
+def test_conc002_flags_transitively_blocking_callee_with_chain(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/box.py": """
+            import threading
+            import time
+
+            def drain():
+                time.sleep(0.5)
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def flush(self):
+                    with self._lock:
+                        drain()
+        """,
+    }, rules=["CONC002"])
+    assert rule_ids(result) == ["CONC002"]
+    (msg,) = messages(result)
+    assert "drain" in msg and "time.sleep" in msg
+
+
+def test_conc002_quiet_when_blocking_is_outside_the_lock(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/box.py": """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def flush(self):
+                    with self._lock:
+                        snapshot = self.total
+                    time.sleep(0.5)
+                    return snapshot
+        """,
+    }, rules=["CONC002"])
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# CONC003 — thread lifecycle
+
+
+def test_conc003_flags_thread_without_daemon_or_join(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/runner.py": """
+            import threading
+
+            def launch(fn):
+                t = threading.Thread(target=fn)
+                t.start()
+        """,
+    }, rules=["CONC003"])
+    assert rule_ids(result) == ["CONC003"]
+    (msg,) = messages(result)
+    assert "`t`" in msg
+
+
+def test_conc003_daemon_thread_is_fine(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/runner.py": """
+            import threading
+
+            def launch(fn):
+                t = threading.Thread(target=fn, daemon=True)
+                t.start()
+        """,
+    }, rules=["CONC003"])
+    assert result.findings == []
+
+
+def test_conc003_join_in_another_method_satisfies_the_rule(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/runner.py": """
+            import threading
+
+            class Runner:
+                def start(self, fn):
+                    self._worker_thread = threading.Thread(target=fn)
+                    self._worker_thread.start()
+
+                def close(self):
+                    self._worker_thread.join(timeout=2.0)
+        """,
+    }, rules=["CONC003"])
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# CONC004 — stale torn-safe annotations
+
+
+def test_conc004_flags_annotation_that_exempts_nothing(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/plain.py": """
+            class Plain:
+                def bump(self):
+                    # lint: torn-safe -- nothing racy here at all
+                    self.n = 1
+        """,
+    }, rules=CONC)
+    assert rule_ids(result) == ["CONC004"]
+    (msg,) = messages(result)
+    assert "exempts no" in msg

@@ -1,0 +1,299 @@
+"""Bad/good fixture pairs for the CRASH crash-safety rule family,
+plus the regression harness proving the rules guard the *real*
+``service/daemon.py`` checkpoint protocol: re-introducing the bugs the
+protocol fixed (in a scratch copy) must light the rules up."""
+
+from pathlib import Path
+
+from repro.lintkit import lint_project, load_project
+from tests.lintkit.conftest import messages, rule_ids
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CRASH = ["CRASH001", "CRASH002", "CRASH003", "CRASH004"]
+
+
+# ----------------------------------------------------------------------
+# CRASH001 — atomic publish
+
+
+def test_crash001_flags_direct_write_to_final_checkpoint_path(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/saver.py": """
+            import json
+
+            def write_checkpoint(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+        """,
+    }, rules=["CRASH001"])
+    assert rule_ids(result) == ["CRASH001"]
+    (msg,) = messages(result)
+    assert "torn" in msg
+
+
+def test_crash001_flags_tmp_file_never_published(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/saver.py": """
+            import json
+
+            def write_checkpoint(path, payload):
+                with open(f"{path}.tmp", "w") as fh:
+                    json.dump(payload, fh)
+        """,
+    }, rules=["CRASH001"])
+    assert rule_ids(result) == ["CRASH001"]
+    (msg,) = messages(result)
+    assert "os.replace" in msg
+
+
+def test_crash001_quiet_on_tmp_plus_replace(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/saver.py": """
+            import json
+            import os
+
+            def write_checkpoint(path, payload):
+                tmp = f"{path}.tmp"
+                with open(tmp, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+        """,
+    }, rules=["CRASH001"])
+    assert result.findings == []
+
+
+def test_crash001_ignores_non_checkpoint_writes(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/plots.py": """
+            def write_report(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """,
+    }, rules=["CRASH001"])
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# CRASH002 — manifest-last ordering
+
+
+_MANIFEST_FIRST = """
+    import json
+    import os
+
+    def checkpoint(ckpt_dir, manifest, results):
+        tmp = os.path.join(ckpt_dir, "manifest.json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh)
+        os.replace(tmp, os.path.join(ckpt_dir, "manifest.json"))
+        tmp2 = os.path.join(ckpt_dir, "results.json.tmp")
+        with open(tmp2, "w") as fh:
+            json.dump(results, fh)
+        os.replace(tmp2, os.path.join(ckpt_dir, "results.json"))
+"""
+
+
+def test_crash002_flags_artifact_replaced_after_manifest(lint_tree):
+    result = lint_tree(
+        {"src/repro/svc/daemon.py": _MANIFEST_FIRST}, rules=["CRASH002"]
+    )
+    assert rule_ids(result) == ["CRASH002"]
+    (msg,) = messages(result)
+    assert "manifest" in msg
+
+
+def test_crash002_quiet_when_manifest_is_last(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/daemon.py": """
+            import json
+            import os
+
+            def checkpoint(ckpt_dir, manifest, results):
+                tmp2 = os.path.join(ckpt_dir, "results.json.tmp")
+                with open(tmp2, "w") as fh:
+                    json.dump(results, fh)
+                os.replace(tmp2, os.path.join(ckpt_dir, "results.json"))
+                tmp = os.path.join(ckpt_dir, "manifest.json.tmp")
+                with open(tmp, "w") as fh:
+                    json.dump(manifest, fh)
+                os.replace(tmp, os.path.join(ckpt_dir, "manifest.json"))
+        """,
+    }, rules=["CRASH002"])
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# CRASH003 — fsync-before-replace (advisory note)
+
+
+def test_crash003_notes_replace_without_fsync_and_never_gates(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/saver.py": """
+            import json
+            import os
+
+            def write_checkpoint(path, payload):
+                tmp = f"{path}.tmp"
+                with open(tmp, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+        """,
+    }, rules=["CRASH003"])
+    assert rule_ids(result) == ["CRASH003"]
+    (finding,) = result.findings
+    assert finding.severity.value == "note"
+    # advisory: present in the report, absent from the exit code
+    assert result.ok and result.exit_code() == 0
+
+
+def test_crash003_satisfied_by_fsync_in_a_helper(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/saver.py": """
+            import json
+            import os
+
+            def _sync(fh):
+                fh.flush()
+                os.fsync(fh.fileno())
+
+            def write_checkpoint(path, payload):
+                tmp = f"{path}.tmp"
+                with open(tmp, "w") as fh:
+                    json.dump(payload, fh)
+                    _sync(fh)
+                os.replace(tmp, path)
+        """,
+    }, rules=["CRASH003"])
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# CRASH004 — handle hygiene
+
+
+def test_crash004_flags_open_then_unguarded_raising_call(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/reader.py": """
+            class Reader:
+                def __init__(self, path):
+                    self._fh = open(path, "rb")
+                    self._parse_header()
+
+                def _parse_header(self):
+                    raise ValueError("bad header")
+        """,
+    }, rules=["CRASH004"])
+    assert rule_ids(result) == ["CRASH004"]
+    (msg,) = messages(result)
+    assert "_parse_header" in msg and "leak" in msg
+
+
+def test_crash004_quiet_when_raising_call_is_inside_try(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/reader.py": """
+            class Reader:
+                def __init__(self, path):
+                    self._fh = open(path, "rb")
+                    try:
+                        self._parse_header()
+                    except Exception:
+                        self._fh.close()
+                        raise
+
+                def _parse_header(self):
+                    raise ValueError("bad header")
+        """,
+    }, rules=["CRASH004"])
+    assert result.findings == []
+
+
+def test_crash004_flags_inline_open_as_argument(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/loader.py": """
+            import json
+
+            def load(path):
+                return json.load(open(path))
+        """,
+    }, rules=["CRASH004"])
+    assert rule_ids(result) == ["CRASH004"]
+    (msg,) = messages(result)
+    assert "json.load" in msg
+
+
+def test_crash004_quiet_on_with_open(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/loader.py": """
+            import json
+
+            def load(path):
+                with open(path) as fh:
+                    return json.load(fh)
+        """,
+    }, rules=["CRASH004"])
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# the real daemon.py, guarded: deleting the PR-9 crash-safety
+# protocol from a scratch copy must be caught
+
+
+def _lint_scratch_daemon(tmp_path, transform):
+    source = (REPO_ROOT / "src/repro/service/daemon.py").read_text()
+    mutated = transform(source)
+    assert mutated != source, "transform matched nothing — daemon.py changed?"
+    scratch = tmp_path / "src/repro/service/daemon.py"
+    scratch.parent.mkdir(parents=True)
+    scratch.write_text(mutated)
+    project = load_project([str(tmp_path)], root=str(tmp_path))
+    return lint_project(project, only_rules=CRASH)
+
+
+def test_real_daemon_checkpoint_is_clean(tmp_path):
+    result = _lint_scratch_daemon(tmp_path, lambda s: s + "\n# scratch\n")
+    assert result.findings == []
+
+
+def test_swapping_replace_order_breaks_manifest_last(tmp_path):
+    # Re-introduce the ordering bug: manifest published before the
+    # results pickle (swap the two os.replace destinations).
+    def swap(source):
+        return (
+            source
+            .replace('os.replace(tmp, ckpt_dir / "results.pkl")', "@@")
+            .replace(
+                'os.replace(tmp, ckpt_dir / "manifest.json")',
+                'os.replace(tmp, ckpt_dir / "results.pkl")',
+            )
+            .replace("@@", 'os.replace(tmp, ckpt_dir / "manifest.json")')
+        )
+
+    result = _lint_scratch_daemon(tmp_path, swap)
+    assert "CRASH002" in rule_ids(result)
+
+
+def test_removing_fsync_is_flagged_as_advisory(tmp_path):
+    result = _lint_scratch_daemon(
+        tmp_path, lambda s: s.replace("os.fsync(fh.fileno())", "pass")
+    )
+    assert "CRASH003" in rule_ids(result)
+
+
+def test_writing_manifest_directly_breaks_atomic_publish(tmp_path):
+    # Re-introduce the torn-manifest bug: drop tmp + replace and land
+    # the manifest straight on its final path.
+    def direct(source):
+        return (
+            source
+            .replace('tmp = ckpt_dir / "manifest.json.tmp"', "")
+            .replace(
+                'with open(tmp, "w", encoding="utf-8") as fh:',
+                'with open(ckpt_dir / "manifest.json", "w", '
+                'encoding="utf-8") as fh:',
+            )
+            .replace('os.replace(tmp, ckpt_dir / "manifest.json")', "")
+        )
+
+    result = _lint_scratch_daemon(tmp_path, direct)
+    assert "CRASH001" in rule_ids(result)

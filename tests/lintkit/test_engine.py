@@ -75,6 +75,9 @@ def test_main_list_rules_prints_catalogue(capsys):
         "UNIT001", "UNIT002", "UNIT003",
         "DTYPE001",
         "DRIFT001", "DRIFT002", "DRIFT003",
+        "CONC001", "CONC002", "CONC003", "CONC004",
+        "CRASH001", "CRASH002", "CRASH003", "CRASH004",
+        "PICKLE001", "PICKLE002",
     ):
         assert rule_id in out
 

@@ -1,0 +1,156 @@
+"""SARIF output structure and ``--changed`` diff-aware scoping."""
+
+import json
+import shutil
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.lintkit import lint_project, load_project
+from repro.lintkit.diffscope import (
+    DiffScopeError,
+    changed_lines,
+    filter_changed,
+)
+from repro.lintkit.sarif import format_sarif
+from tests.lintkit.conftest import build_project, rule_ids
+
+_BAD = """
+    import json
+
+    def write_checkpoint(path, payload):
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+"""
+
+
+# ----------------------------------------------------------------------
+# SARIF
+
+
+def test_sarif_document_shape_and_rule_catalogue(lint_tree):
+    result = lint_tree(
+        {"src/repro/svc/saver.py": _BAD}, rules=["CRASH001"]
+    )
+    doc = json.loads(format_sarif(result))
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    rules = run["tool"]["driver"]["rules"]
+    ids = [r["id"] for r in rules]
+    # full catalogue ships regardless of which rules fired
+    for expected in ("DET001", "CONC001", "CRASH003", "PICKLE001",
+                     "SUP001", "PARSE"):
+        assert expected in ids
+    (res,) = run["results"]
+    assert res["ruleId"] == "CRASH001"
+    assert res["level"] == "error"
+    assert res["ruleIndex"] == ids.index("CRASH001")
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/svc/saver.py"
+    assert loc["region"]["startLine"] >= 1
+    assert loc["region"]["startColumn"] >= 1
+
+
+def test_sarif_levels_map_severities(lint_tree):
+    result = lint_tree({
+        "src/repro/svc/saver.py": """
+            import json
+            import os
+
+            def write_checkpoint(path, payload):
+                tmp = f"{path}.tmp"
+                with open(tmp, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+        """,
+    }, rules=["CRASH003"])
+    doc = json.loads(format_sarif(result))
+    (res,) = doc["runs"][0]["results"]
+    assert res["level"] == "note"
+
+
+# ----------------------------------------------------------------------
+# --changed
+
+
+GIT = shutil.which("git")
+needs_git = pytest.mark.skipif(GIT is None, reason="git unavailable")
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        [GIT, *args], cwd=cwd, check=True, capture_output=True,
+        env={"HOME": str(cwd), "PATH": "/usr/bin:/bin:/usr/local/bin",
+             "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+             "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+    )
+
+
+@needs_git
+def test_changed_keeps_only_findings_on_touched_lines(tmp_path):
+    # atomically published but never fsynced: carries a pre-existing
+    # CRASH003 note on the os.replace line
+    clean = textwrap.dedent("""
+        import json
+        import os
+
+        def write_checkpoint(path, payload):
+            tmp = f"{path}.tmp"
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+    """)
+    target = tmp_path / "src/repro/svc/saver.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(clean)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "clean")
+    # introduce a CRASH001 direct write in a NEW function, leaving a
+    # pre-existing (hypothetical) finding zone untouched
+    target.write_text(clean + textwrap.dedent("""
+        def write_checkpoint_v2(path, payload):
+            with open(path, "w") as fh:
+                json.dump(payload, fh)
+    """))
+    project = load_project([str(tmp_path)], root=str(tmp_path))
+    result = lint_project(project, only_rules=["CRASH001", "CRASH003"])
+    assert rule_ids(result) == ["CRASH001", "CRASH003"]
+
+    scoped = filter_changed(result, str(tmp_path), "HEAD")
+    # CRASH001 sits on an added line; the CRASH003 note points at the
+    # pre-existing os.replace line and is scoped out
+    assert rule_ids(scoped) == ["CRASH001"]
+    assert scoped.summary.findings == 1
+
+
+@needs_git
+def test_changed_lines_parses_hunks(tmp_path):
+    target = tmp_path / "a.py"
+    target.write_text("x = 1\ny = 2\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "base")
+    target.write_text("x = 1\ny = 3\nz = 4\n")
+    scope = changed_lines(str(tmp_path), "HEAD")
+    assert scope == {"a.py": {2, 3}}
+
+
+@needs_git
+def test_changed_bad_ref_raises_diffscope_error(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "base")
+    with pytest.raises(DiffScopeError):
+        changed_lines(str(tmp_path), "no-such-ref")
+
+
+def test_changed_outside_git_raises_diffscope_error(tmp_path):
+    project = build_project(tmp_path, {"src/repro/a.py": "x = 1\n"})
+    result = lint_project(project, only_rules=["CRASH001"])
+    probe = tmp_path / "not-a-repo"
+    probe.mkdir()
+    with pytest.raises(DiffScopeError):
+        filter_changed(result, str(probe), "HEAD")

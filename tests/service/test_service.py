@@ -320,6 +320,28 @@ class TestServiceCheckpointResume:
         assert (ckpt_dir / "results.pkl").exists()
         assert not list(ckpt_dir.glob("*.tmp"))
 
+    def test_checkpoint_fsyncs_every_artifact(self, tmp_path, monkeypatch):
+        """Each checkpoint artifact — per-stream engine state, the
+        results pickle, and the manifest — is fsynced before its
+        atomic publish, so a power cut cannot leave a manifest that
+        names files whose bytes never reached the disk."""
+        synced = []
+        real_fsync = os.fsync
+
+        def counting_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        ckpt_dir = tmp_path / "ckpt"
+        path = write_v2(tmp_path, "s.rtrace", 4, seed=6)
+        cfg = ServiceConfig(checkpoint_every=1, checkpoint_dir=str(ckpt_dir),
+                            max_rounds=1)
+        with Service([StreamSpec("s", str(path))], sim_cfg(), cfg) as svc:
+            svc.run()
+        # At least the stream snapshot, results.pkl, and manifest.json.
+        assert len(synced) >= 3
+
 
 class TestServiceTailsLiveSource:
     def test_resume_continues_a_growing_trace(self, tmp_path):

@@ -8,6 +8,7 @@ not the simulation.
 """
 
 import dataclasses
+import os
 import pickle
 import random
 
@@ -158,6 +159,44 @@ class TestCheckpointMechanics:
         sim.step_epoch(st, sim.epoch_policy)
         sim.save_state(ckpt, st)
         assert Simulation.load_state(ckpt).resumed_epoch == 2
+
+    def test_save_is_durable_fsyncs_before_publish(
+        self, tmp_path, monkeypatch
+    ):
+        """The snapshot must hit the platter before ``os.replace``
+        publishes it — a rename alone survives a process crash but
+        not a power cut."""
+        synced = []
+        real_fsync = os.fsync
+
+        def counting_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        sim = make_sim(make_config(total_accesses=40_000))
+        st = sim._initial_state()
+        sim.step_epoch(st, sim.epoch_policy)
+        sim.save_state(tmp_path / "durable.ckpt", st)
+        assert synced, "save_state published the snapshot without fsync"
+
+    def test_instrumented_run_keeps_sim_clock_picklable(self):
+        """The tracer's simulated-clock binding rides inside
+        checkpoint pickles; a lambda closure there breaks every
+        checkpoint taken after an instrumented run."""
+        from repro.obs.tracing import SimClock
+
+        sim = Simulation(
+            uniform_workload(footprint_pages=256, seed=0),
+            make_config(total_accesses=40_000),
+            policy="none",
+            obs=Observability(metrics=True),  # tracing defaults on
+        )
+        sim.run()
+        clock = sim.obs.tracer.sim_clock
+        assert isinstance(clock, SimClock)
+        revived = pickle.loads(pickle.dumps(clock))
+        assert revived() == clock()
 
     def test_config_validation(self):
         with pytest.raises(ValueError):

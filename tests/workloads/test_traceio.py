@@ -129,6 +129,58 @@ class TestV2Stream:
             assert r.read_next() is None
             assert not r.complete
 
+    def test_truncated_header_raises_and_closes_the_handle(
+        self, tmp_path, monkeypatch
+    ):
+        """A reader that dies parsing the header must not leak its
+        file handle: the constructor raises *after* closing it."""
+        import builtins
+
+        from repro.workloads.traceio import V2_MAGIC
+
+        wl, chunks = self.chunks_of(1)
+        path = tmp_path / "ok.rtrace"
+        with TraceWriter(path, wl.spec) as w:
+            w.append(chunks[0])
+        bad = tmp_path / "truncated.rtrace"
+        # Valid magic, then the file ends mid header-length word.
+        bad.write_bytes(path.read_bytes()[: len(V2_MAGIC) + 2])
+
+        opened = []
+        real_open = builtins.open
+
+        def spy(*args, **kwargs):
+            fh = real_open(*args, **kwargs)
+            opened.append(fh)
+            return fh
+
+        monkeypatch.setattr(builtins, "open", spy)
+        with pytest.raises(TraceCorruptError):
+            TraceReader(bad)
+        assert opened, "reader never opened the file?"
+        assert all(fh.closed for fh in opened)
+
+    def test_bad_magic_raises_and_closes_the_handle(
+        self, tmp_path, monkeypatch
+    ):
+        import builtins
+
+        bad = tmp_path / "alien.rtrace"
+        bad.write_bytes(b"NOTATRACE-FORMAT")
+
+        opened = []
+        real_open = builtins.open
+
+        def spy(*args, **kwargs):
+            fh = real_open(*args, **kwargs)
+            opened.append(fh)
+            return fh
+
+        monkeypatch.setattr(builtins, "open", spy)
+        with pytest.raises(TraceFormatError):
+            TraceReader(bad)
+        assert opened and all(fh.closed for fh in opened)
+
     def test_crc_corruption_raises(self, tmp_path):
         wl, chunks = self.chunks_of(2)
         path = tmp_path / "ok.rtrace"

@@ -107,7 +107,8 @@ def main() -> int:
     proc = repro(*serve_args(paths, "--no-http", "--out", base_out))
     if proc.returncode != 0:
         fail(f"baseline serve failed:\n{proc.stdout}\n{proc.stderr}")
-    baseline = json.load(open(base_out))
+    with open(base_out) as fh:
+        baseline = json.load(fh)
     if baseline["unfinished"]:
         fail(f"baseline left streams unfinished: {baseline['unfinished']}")
 
@@ -170,7 +171,8 @@ def main() -> int:
             daemon.kill()
         daemon.stdout.close()
 
-    killed_round = json.load(open(manifest))["round"]
+    with open(manifest) as fh:
+        killed_round = json.load(fh)["round"]
     print(f"   checkpoint set at round {killed_round}")
 
     print("== resume: run the killed service to completion")
@@ -181,7 +183,8 @@ def main() -> int:
         fail(f"resume failed:\n{proc.stdout}\n{proc.stderr}")
     if "resumed service from" not in proc.stdout:
         fail(f"resume banner missing:\n{proc.stdout}")
-    resumed = json.load(open(resume_out))
+    with open(resume_out) as fh:
+        resumed = json.load(fh)
     if resumed["unfinished"]:
         fail(f"resumed service left streams unfinished: "
              f"{resumed['unfinished']}")
